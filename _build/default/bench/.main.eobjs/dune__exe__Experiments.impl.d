@@ -1,0 +1,1 @@
+bench/experiments.ml: Codec Dcp_airline Dcp_assoc Dcp_core Dcp_net Dcp_primitives Dcp_rng Dcp_sim Dcp_stable Dcp_wire Fun Int List Printf String Tables Transmit Value Vtype

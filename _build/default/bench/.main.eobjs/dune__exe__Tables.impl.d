@@ -1,0 +1,1 @@
+bench/tables.ml: Int List Printf String

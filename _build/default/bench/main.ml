@@ -1,0 +1,45 @@
+(* Benchmark harness: regenerates every experiment table of DESIGN.md §4
+   (E1-E8) on the simulator, then runs the bechamel micro-benchmarks.
+
+   Run with:  dune exec bench/main.exe
+   Pass experiment ids (e1 ... e8, micro) to run a subset. *)
+
+let registry =
+  [
+    ("e1", Experiments.e1);
+    ("e2", Experiments.e2);
+    ("e2b", Experiments.e2b);
+    ("e3", Experiments.e3);
+    ("e4a", Experiments.e4_crashes);
+    ("e4b", Experiments.e4_idempotency);
+    ("e5", Experiments.e5);
+    ("e6", Experiments.e6);
+    ("e7", Experiments.e7);
+    ("e8", Experiments.e8);
+    ("e9", Experiments.e9);
+    ("e10", Experiments.e10);
+    ("micro", Micro.run);
+  ]
+
+let () =
+  let requested = List.tl (Array.to_list Sys.argv) in
+  let to_run =
+    match requested with
+    | [] -> registry
+    | names ->
+        List.filter_map
+          (fun name ->
+            match List.assoc_opt (String.lowercase_ascii name) registry with
+            | Some f -> Some (name, f)
+            | None ->
+                Printf.eprintf "unknown experiment %S (known: %s)\n" name
+                  (String.concat ", " (List.map fst registry));
+                None)
+          names
+  in
+  print_endline "Primitives for Distributed Computing (Liskov, SOSP 1979) — reproduction benches";
+  List.iter
+    (fun (name, f) ->
+      ignore name;
+      f ())
+    to_run

@@ -1,0 +1,152 @@
+(* Bechamel micro-benchmarks of the hot paths: codec, CRC, heap, WAL,
+   tokens, and the full in-simulator send path.  One Test.make per row. *)
+
+open Bechamel
+open Toolkit
+open Dcp_wire
+module Heap = Dcp_sim.Heap
+module Crc32 = Dcp_net.Crc32
+module Packet = Dcp_net.Packet
+module Wal = Dcp_stable.Wal
+module Rng = Dcp_rng.Rng
+module Runtime = Dcp_core.Runtime
+module Topology = Dcp_net.Topology
+module Clock = Dcp_sim.Clock
+
+let sample_value =
+  Value.record
+    [
+      ("command", Value.str "reserve");
+      ("args", Value.list [ Value.int 123456; Value.str "passenger-007"; Value.int 42 ]);
+      ("reply", Value.option (Some (Value.port (Port_name.make ~node:1 ~guardian:2 ~index:3 ~uid:4))));
+    ]
+
+let sample_encoded = Codec.encode_exn sample_value
+let kilobyte = String.init 1024 (fun i -> Char.chr (i mod 256))
+
+let test_codec_encode =
+  Test.make ~name:"codec.encode message" (Staged.stage (fun () -> Codec.encode_exn sample_value))
+
+let test_codec_decode =
+  Test.make ~name:"codec.decode message" (Staged.stage (fun () -> Codec.decode_exn sample_encoded))
+
+let test_crc32 =
+  Test.make ~name:"crc32 1KiB" (Staged.stage (fun () -> Crc32.digest_string kilobyte))
+
+let test_fragment =
+  Test.make ~name:"packet.fragment 1KiB mtu=256"
+    (Staged.stage (fun () -> Packet.fragment ~src:0 ~dst:1 ~msg_id:1 ~mtu:256 kilobyte))
+
+let test_heap =
+  Test.make ~name:"heap push+pop x64"
+    (Staged.stage (fun () ->
+         let h = Heap.create ~cmp:Int.compare in
+         for i = 0 to 63 do
+           Heap.push h ((i * 37) mod 64)
+         done;
+         for _ = 0 to 63 do
+           ignore (Heap.pop h)
+         done))
+
+let test_wal_append =
+  Test.make ~name:"wal.append 64B"
+    (Staged.stage
+       (let wal = Wal.create () in
+        let payload = String.make 64 'x' in
+        fun () -> ignore (Wal.append wal payload)))
+
+let test_token =
+  Test.make ~name:"token seal+unseal"
+    (Staged.stage (fun () ->
+         let token = Token.seal ~secret:0x1234L ~owner:7 ~obj:99 in
+         ignore (Token.unseal ~secret:0x1234L ~owner:7 token)))
+
+let test_rng =
+  Test.make ~name:"rng.int"
+    (Staged.stage
+       (let rng = Rng.create ~seed:1 in
+        fun () -> ignore (Rng.int rng 1_000_000)))
+
+(* One full exchange through the runtime per run: a fresh client guardian
+   sends to a long-lived echo guardian and receives the reply; the engine
+   drains to quiescence.  Covers guardian creation, both codec directions,
+   routing, port machinery and two process switches. *)
+let test_send_path =
+  Test.make ~name:"runtime round-trip (+guardian)"
+    (Staged.stage
+       (let world =
+          Runtime.create_world ~seed:1
+            ~topology:(Topology.full_mesh ~n:1 Dcp_net.Link.perfect)
+            ()
+        in
+        let echo_def =
+          {
+            Runtime.def_name = "bench_echo";
+            provides = [ ([ Vtype.wildcard ], 64) ];
+            init =
+              (fun ctx _ ->
+                let rec loop () =
+                  (match Runtime.receive ctx [ Runtime.port ctx 0 ] with
+                  | `Timeout -> ()
+                  | `Msg (_, msg) -> (
+                      match msg.Dcp_core.Message.reply_to with
+                      | Some reply -> Runtime.send ctx ~to_:reply "pong" []
+                      | None -> ()));
+                  loop ()
+                in
+                loop ());
+            recover = None;
+          }
+        in
+        Runtime.register_def world echo_def;
+        let echo = Runtime.create_guardian world ~at:0 ~def_name:"bench_echo" ~args:[] in
+        let echo_port = List.hd (Runtime.guardian_ports echo) in
+        let client_def =
+          {
+            Runtime.def_name = "bench_client";
+            provides = [];
+            init =
+              (fun ctx _ ->
+                let reply = Runtime.new_port ctx [ Vtype.wildcard ] in
+                Runtime.send ctx ~to_:echo_port ~reply_to:(Dcp_core.Port.name reply) "ping" [];
+                match Runtime.receive ctx ~timeout:(Clock.s 1) [ reply ] with
+                | `Msg _ | `Timeout -> ());
+            recover = None;
+          }
+        in
+        Runtime.register_def world client_def;
+        Runtime.run world;
+        fun () ->
+          ignore (Runtime.create_guardian world ~at:0 ~def_name:"bench_client" ~args:[]);
+          Runtime.run world))
+
+let all_tests =
+  [
+    test_codec_encode;
+    test_codec_decode;
+    test_crc32;
+    test_fragment;
+    test_heap;
+    test_wal_append;
+    test_token;
+    test_rng;
+    test_send_path;
+  ]
+
+let run () =
+  print_newline ();
+  print_endline "== Micro-benchmarks (bechamel, monotonic clock) ==";
+  let benchmark test =
+    let instance = Instance.monotonic_clock in
+    let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) () in
+    let raw = Benchmark.all cfg [ instance ] test in
+    let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+    let results = Analyze.all ols instance raw in
+    Hashtbl.iter
+      (fun name result ->
+        match Analyze.OLS.estimates result with
+        | Some [ est ] -> Printf.printf "  %-32s %12.1f ns/run\n%!" name est
+        | Some _ | None -> Printf.printf "  %-32s (no estimate)\n%!" name)
+      results
+  in
+  List.iter benchmark all_tests

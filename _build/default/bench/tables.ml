@@ -1,0 +1,31 @@
+(* Tiny fixed-width table printer for the experiment reports. *)
+
+let hrule widths =
+  let dashes w = String.make (w + 2) '-' in
+  "+" ^ String.concat "+" (List.map dashes widths) ^ "+"
+
+let pad width s =
+  let n = String.length s in
+  if n >= width then s else s ^ String.make (width - n) ' '
+
+let render_row widths cells =
+  "| " ^ String.concat " | " (List.map2 pad widths cells) ^ " |"
+
+let print ~title ~header rows =
+  let all = header :: rows in
+  let widths =
+    List.fold_left
+      (fun acc row -> List.map2 (fun w c -> Int.max w (String.length c)) acc row)
+      (List.map String.length header)
+      all
+  in
+  Printf.printf "\n== %s ==\n" title;
+  print_endline (hrule widths);
+  print_endline (render_row widths header);
+  print_endline (hrule widths);
+  List.iter (fun row -> print_endline (render_row widths row)) rows;
+  print_endline (hrule widths)
+
+let f1 x = Printf.sprintf "%.1f" x
+let f2 x = Printf.sprintf "%.2f" x
+let i x = string_of_int x

@@ -1,0 +1,1 @@
+examples/airline_day.ml: Dcp_airline Dcp_core Dcp_sim Format

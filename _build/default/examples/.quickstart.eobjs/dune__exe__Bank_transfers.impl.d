@@ -1,0 +1,1 @@
+examples/bank_transfers.ml: Dcp_bank Dcp_core Dcp_net Dcp_primitives Dcp_sim Dcp_wire Format Hashtbl List Option Printf Value

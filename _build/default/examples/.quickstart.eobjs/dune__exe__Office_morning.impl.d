@@ -1,0 +1,1 @@
+examples/office_morning.ml: Dcp_core Dcp_net Dcp_office Dcp_primitives Dcp_sim Dcp_wire Format Value Vtype

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dcp_core Dcp_net Dcp_sim Dcp_wire Format List Port_name Value Vtype

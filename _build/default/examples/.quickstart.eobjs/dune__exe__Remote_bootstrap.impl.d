@@ -1,0 +1,1 @@
+examples/remote_bootstrap.ml: Dcp_core Dcp_net Dcp_sim Dcp_wire Format Hashtbl List Port_name String Token Value Vtype

@@ -1,0 +1,1 @@
+examples/replicated_config.ml: Dcp_core Dcp_net Dcp_primitives Dcp_sim Dcp_wire Format List Option Value

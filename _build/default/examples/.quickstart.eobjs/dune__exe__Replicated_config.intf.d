@@ -1,0 +1,1 @@
+examples/replicated_config.mli:

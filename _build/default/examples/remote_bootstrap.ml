@@ -1,0 +1,134 @@
+(* Bootstrapping guardians across nodes through primordial guardians
+   (Figure 3 and §2.1's creation rule).
+
+   Run with:  dune exec examples/remote_bootstrap.exe
+
+   A deployer guardian at node 0 populates a 3-node system: it cannot
+   create guardians at remote nodes directly (creation is pinned to the
+   creator's node), so it asks each node's primordial guardian.  A node
+   whose owner has not installed the definition refuses — the autonomy
+   story of §1.1.  It also demonstrates tokens: the registry guardian
+   hands out sealed capabilities that only it can unseal. *)
+
+open Dcp_wire
+module Runtime = Dcp_core.Runtime
+module Primordial = Dcp_core.Primordial
+module Message = Dcp_core.Message
+module Port = Dcp_core.Port
+module Clock = Dcp_sim.Clock
+module Topology = Dcp_net.Topology
+module Link = Dcp_net.Link
+
+(* A registry guardian: stores strings, returns a token per entry.  Only
+   the issuing guardian can turn the token back into the entry (§2.1). *)
+let registry_port_type =
+  [
+    Vtype.signature "put" [ Vtype.Tstr ] ~replies:[ Vtype.reply "ticket" [ Vtype.Ttoken ] ];
+    Vtype.signature "redeem" [ Vtype.Ttoken ]
+      ~replies:[ Vtype.reply "entry" [ Vtype.Tstr ]; Vtype.reply "bad_token" [] ];
+  ]
+
+let registry_def : Runtime.def =
+  {
+    Runtime.def_name = "registry";
+    provides = [ (registry_port_type, 32) ];
+    init =
+      (fun ctx _ ->
+        let entries = Hashtbl.create 16 in
+        let next = ref 0 in
+        let rec loop () =
+          (match Runtime.receive ctx [ Runtime.port ctx 0 ] with
+          | `Timeout -> ()
+          | `Msg (_, msg) -> (
+              match (msg.Message.command, msg.Message.args, msg.Message.reply_to) with
+              | "put", [ Value.Str entry ], Some reply ->
+                  let obj = !next in
+                  incr next;
+                  Hashtbl.replace entries obj entry;
+                  let token = Runtime.seal_token ctx ~obj in
+                  Runtime.send ctx ~to_:reply "ticket" [ Value.token token ]
+              | "redeem", [ Value.Tokenv token ], Some reply -> (
+                  match Runtime.unseal_token ctx token with
+                  | Some obj when Hashtbl.mem entries obj ->
+                      Runtime.send ctx ~to_:reply "entry"
+                        [ Value.str (Hashtbl.find entries obj) ]
+                  | Some _ | None -> Runtime.send ctx ~to_:reply "bad_token" [])
+              | _ -> ()));
+          loop ()
+        in
+        loop ());
+    recover = None;
+  }
+
+let () =
+  let topology = Topology.full_mesh ~n:3 Link.lan in
+  let world = Runtime.create_world ~seed:9 ~topology () in
+  Primordial.install world;
+  (* The owners of nodes 0 and 1 install the registry program; node 2's
+     owner does not. *)
+  Runtime.register_def world registry_def;
+
+  let deployer_def : Runtime.def =
+    {
+      Runtime.def_name = "deployer";
+      provides = [];
+      init =
+        (fun ctx _ ->
+          let deploy node =
+            match
+              Primordial.request_create ctx ~at:node ~def_name:"registry" ~args:[]
+                ~timeout:(Clock.s 1)
+            with
+            | `Created ports ->
+                Format.printf "node %d: registry created, ports %s@." node
+                  (String.concat ", " (List.map Port_name.to_string ports));
+                Some (List.hd ports)
+            | `Refused reason ->
+                Format.printf "node %d: refused (%s)@." node reason;
+                None
+            | `Timeout ->
+                Format.printf "node %d: no answer@." node;
+                None
+          in
+          let r1 = deploy 1 in
+          let _ = deploy 2 in
+          (* Node 2 has no 'registry' in its library — in this world the
+             definition is global, so it succeeds; refusal is demonstrated
+             with a name no owner installed anywhere: *)
+          (match
+             Primordial.request_create ctx ~at:2 ~def_name:"secret_miner" ~args:[]
+               ~timeout:(Clock.s 1)
+           with
+          | `Refused reason -> Format.printf "node 2 refuses secret_miner: %s@." reason
+          | `Created _ | `Timeout -> Format.printf "unexpected outcome for secret_miner@.");
+          (* Use the remote registry: store an entry, get a token back,
+             redeem it, and demonstrate that a token can't be forged. *)
+          match r1 with
+          | None -> ()
+          | Some registry ->
+              let reply = Runtime.new_port ctx [ Vtype.wildcard ] in
+              Runtime.send ctx ~to_:registry ~reply_to:(Port.name reply) "put"
+                [ Value.str "flight manifest, 1979-12-10" ];
+              (match Runtime.receive ctx ~timeout:(Clock.s 1) [ reply ] with
+              | `Msg (_, { Message.command = "ticket"; args = [ Value.Tokenv token ]; _ }) ->
+                  Format.printf "got token %a (owner guardian %d)@." Token.pp token
+                    (Token.owner token);
+                  Runtime.send ctx ~to_:registry ~reply_to:(Port.name reply) "redeem"
+                    [ Value.token token ];
+                  (match Runtime.receive ctx ~timeout:(Clock.s 1) [ reply ] with
+                  | `Msg (_, msg) ->
+                      Format.printf "redeemed: %a@." Message.pp msg
+                  | `Timeout -> ());
+                  (* Try to unseal it ourselves — we are not the owner. *)
+                  (match Runtime.unseal_token ctx token with
+                  | None -> Format.printf "deployer cannot unseal the token: sealed capability works@."
+                  | Some _ -> Format.printf "SECURITY BUG: token unsealed by non-owner@.")
+              | `Msg _ | `Timeout -> Format.printf "no ticket@."))
+        ;
+      recover = None;
+    }
+  in
+  Runtime.register_def world deployer_def;
+  ignore (Runtime.create_guardian world ~at:0 ~def_name:"deployer" ~args:[]);
+  Runtime.run_for world (Clock.s 10);
+  Format.printf "done at %a@." Clock.pp (Runtime.now world)

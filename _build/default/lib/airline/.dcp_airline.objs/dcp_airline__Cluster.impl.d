@@ -1,0 +1,1 @@
+lib/airline/cluster.ml: Dcp_core Dcp_net Dcp_rng Dcp_sim Dcp_wire Format Front_desk Fun List Printf Regional Types Workload

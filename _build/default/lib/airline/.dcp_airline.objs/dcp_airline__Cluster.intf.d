@@ -1,0 +1,1 @@
+lib/airline/cluster.mli: Dcp_core Dcp_net Dcp_sim Dcp_wire Format Types Workload

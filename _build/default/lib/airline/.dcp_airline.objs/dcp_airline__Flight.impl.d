@@ -1,0 +1,1 @@
+lib/airline/flight.ml: Codec Dcp_core Dcp_primitives Dcp_sim Dcp_stable Dcp_wire Hashtbl Int List Option Printf Queue String Types Value

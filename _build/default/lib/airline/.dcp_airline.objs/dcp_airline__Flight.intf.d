@@ -1,0 +1,1 @@
+lib/airline/flight.mli: Dcp_core Dcp_sim Dcp_wire Port_name Types Value

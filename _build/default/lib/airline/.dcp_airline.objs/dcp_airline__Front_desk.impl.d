@@ -1,0 +1,1 @@
+lib/airline/front_desk.ml: Array Codec Dcp_core Dcp_primitives Dcp_sim Dcp_stable Dcp_wire List Port_name String Types Value

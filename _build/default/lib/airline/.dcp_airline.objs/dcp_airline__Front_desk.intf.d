@@ -1,0 +1,1 @@
+lib/airline/front_desk.mli: Dcp_core Dcp_sim Dcp_wire Port_name Value

@@ -1,0 +1,1 @@
+lib/airline/itinerary.ml: Codec Dcp_core Dcp_primitives Dcp_sim Dcp_stable Dcp_wire List Printf Value Vtype

@@ -1,0 +1,1 @@
+lib/airline/itinerary.mli: Dcp_core Dcp_wire Port_name Types Vtype

@@ -1,0 +1,1 @@
+lib/airline/regional.ml: Codec Dcp_core Dcp_primitives Dcp_sim Dcp_stable Dcp_wire Flight Hashtbl List Port_name Printf String Types Value

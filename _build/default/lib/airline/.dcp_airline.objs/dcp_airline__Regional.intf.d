@@ -1,0 +1,1 @@
+lib/airline/regional.mli: Dcp_core Dcp_sim Dcp_wire Port_name Types Value

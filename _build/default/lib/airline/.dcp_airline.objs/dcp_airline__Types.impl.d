@@ -1,0 +1,1 @@
+lib/airline/types.ml: Dcp_primitives Dcp_wire Format Vtype

@@ -1,0 +1,1 @@
+lib/airline/types.mli: Dcp_wire Format Vtype

@@ -1,0 +1,1 @@
+lib/airline/workload.ml: Dcp_core Dcp_primitives Dcp_rng Dcp_sim Dcp_wire List Option Printf Value

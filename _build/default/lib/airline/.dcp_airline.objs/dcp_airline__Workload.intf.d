@@ -1,0 +1,1 @@
+lib/airline/workload.mli: Dcp_core Dcp_rng Dcp_sim Dcp_wire Port_name

@@ -1,0 +1,1 @@
+lib/assoc/assoc_mem.ml: Dcp_wire Hashtbl Int List Option String Transmit Value Vtype

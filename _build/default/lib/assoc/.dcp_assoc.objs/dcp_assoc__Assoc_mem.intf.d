@@ -1,0 +1,1 @@
+lib/assoc/assoc_mem.mli: Dcp_wire Transmit Value Vtype

@@ -1,0 +1,1 @@
+lib/assoc/complex_rep.ml: Dcp_wire Float Transmit Value Vtype

@@ -1,0 +1,1 @@
+lib/assoc/complex_rep.mli: Dcp_wire Transmit Vtype

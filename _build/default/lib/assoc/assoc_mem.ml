@@ -1,0 +1,170 @@
+open Dcp_wire
+
+(* AVL tree keyed by string. *)
+module Avl = struct
+  type 'a t = Leaf | Node of { left : 'a t; key : string; value : 'a; right : 'a t; height : int }
+
+  let height = function Leaf -> 0 | Node { height; _ } -> height
+
+  let node left key value right =
+    Node { left; key; value; right; height = 1 + Int.max (height left) (height right) }
+
+  let balance_factor = function Leaf -> 0 | Node { left; right; _ } -> height left - height right
+
+  let rotate_left = function
+    | Node { left; key; value; right = Node r; _ } -> node (node left key value r.left) r.key r.value r.right
+    | t -> t
+
+  let rotate_right = function
+    | Node { left = Node l; key; value; right; _ } -> node l.left l.key l.value (node l.right key value right)
+    | t -> t
+
+  let rebalance t =
+    match t with
+    | Leaf -> t
+    | Node { left; right; _ } ->
+        let bf = balance_factor t in
+        if bf > 1 then
+          let t =
+            if balance_factor left < 0 then
+              match t with
+              | Node n -> node (rotate_left n.left) n.key n.value n.right
+              | Leaf -> t
+            else t
+          in
+          rotate_right t
+        else if bf < -1 then
+          let t =
+            if balance_factor right > 0 then
+              match t with
+              | Node n -> node n.left n.key n.value (rotate_right n.right)
+              | Leaf -> t
+            else t
+          in
+          rotate_left t
+        else t
+
+  let rec insert t key value =
+    match t with
+    | Leaf -> node Leaf key value Leaf
+    | Node n ->
+        let c = String.compare key n.key in
+        if c = 0 then node n.left key value n.right
+        else if c < 0 then rebalance (node (insert n.left key value) n.key n.value n.right)
+        else rebalance (node n.left n.key n.value (insert n.right key value))
+
+  let rec find t key =
+    match t with
+    | Leaf -> None
+    | Node n ->
+        let c = String.compare key n.key in
+        if c = 0 then Some n.value else if c < 0 then find n.left key else find n.right key
+
+  let rec min_binding = function
+    | Leaf -> None
+    | Node { left = Leaf; key; value; _ } -> Some (key, value)
+    | Node { left; _ } -> min_binding left
+
+  let rec remove t key =
+    match t with
+    | Leaf -> Leaf
+    | Node n ->
+        let c = String.compare key n.key in
+        if c < 0 then rebalance (node (remove n.left key) n.key n.value n.right)
+        else if c > 0 then rebalance (node n.left n.key n.value (remove n.right key))
+        else (
+          match (n.left, n.right) with
+          | Leaf, r -> r
+          | l, Leaf -> l
+          | l, r -> (
+              match min_binding r with
+              | None -> l
+              | Some (k, v) -> rebalance (node l k v (remove r k))))
+
+  let rec fold t ~init ~f =
+    match t with
+    | Leaf -> init
+    | Node n -> fold n.right ~init:(f (fold n.left ~init ~f) n.key n.value) ~f
+
+  let size t = fold t ~init:0 ~f:(fun acc _ _ -> acc + 1)
+  let to_alist t = List.rev (fold t ~init:[] ~f:(fun acc k v -> (k, v) :: acc))
+
+  let rec is_balanced = function
+    | Leaf -> true
+    | Node { left; right; _ } as t ->
+        abs (balance_factor t) <= 1 && is_balanced left && is_balanced right
+end
+
+type rep_kind = Hash | Tree
+
+type rep = Hash_rep of (string, Value.t) Hashtbl.t | Tree_rep of Value.t Avl.t
+
+type t = { mutable rep : rep }
+
+let create ~rep =
+  match rep with
+  | Hash -> { rep = Hash_rep (Hashtbl.create 16) }
+  | Tree -> { rep = Tree_rep Avl.Leaf }
+
+let rep_kind t = match t.rep with Hash_rep _ -> Hash | Tree_rep _ -> Tree
+
+let add_item t ~key value =
+  match t.rep with
+  | Hash_rep h -> Hashtbl.replace h key value
+  | Tree_rep tree -> t.rep <- Tree_rep (Avl.insert tree key value)
+
+let get_item t ~key =
+  match t.rep with Hash_rep h -> Hashtbl.find_opt h key | Tree_rep tree -> Avl.find tree key
+
+let remove_item t ~key =
+  match t.rep with
+  | Hash_rep h -> Hashtbl.remove h key
+  | Tree_rep tree -> t.rep <- Tree_rep (Avl.remove tree key)
+
+let size t = match t.rep with Hash_rep h -> Hashtbl.length h | Tree_rep tree -> Avl.size tree
+let mem t ~key = Option.is_some (get_item t ~key)
+
+let to_alist t =
+  match t.rep with
+  | Tree_rep tree -> Avl.to_alist tree
+  | Hash_rep h ->
+      List.sort
+        (fun (k1, _) (k2, _) -> String.compare k1 k2)
+        (Hashtbl.fold (fun k v acc -> (k, v) :: acc) h [])
+
+let of_alist ~rep pairs =
+  let t = create ~rep in
+  List.iter (fun (key, value) -> add_item t ~key value) pairs;
+  t
+
+let equal a b = List.equal (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && Value.equal v1 v2) (to_alist a) (to_alist b)
+
+let tree_is_balanced t =
+  match t.rep with Hash_rep _ -> true | Tree_rep tree -> Avl.is_balanced tree
+
+let type_name = "assoc_mem"
+let external_rep = Vtype.Tlist (Vtype.Ttuple [ Vtype.Tstr; Vtype.Tany ])
+
+let encode_common t =
+  Value.list (List.map (fun (k, v) -> Value.tuple [ Value.str k; v ]) (to_alist t))
+
+let decode_common ~rep v =
+  let pair_of = function
+    | Value.Tuple [ Value.Str k; item ] -> (k, item)
+    | _ -> raise (Transmit.Decode_failure "assoc_mem: malformed pair")
+  in
+  of_alist ~rep (List.map pair_of (Value.get_list v))
+
+let make_impl rep : t Transmit.impl =
+  (module struct
+    type nonrec t = t
+
+    let type_name = type_name
+    let external_rep = external_rep
+    let encode = encode_common
+    let decode v = decode_common ~rep v
+  end)
+
+let transmit_hash = make_impl Hash
+let transmit_tree = make_impl Tree
+let register registry = Transmit.register registry ~type_name ~external_rep

@@ -1,0 +1,1 @@
+lib/bank/audit.ml: Dcp_primitives Dcp_sim Dcp_wire Format List Port_name Value

@@ -1,0 +1,1 @@
+lib/bank/audit.mli: Dcp_core Dcp_sim Dcp_wire Port_name

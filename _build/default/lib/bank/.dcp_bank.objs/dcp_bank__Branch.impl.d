@@ -1,0 +1,1 @@
+lib/bank/branch.ml: Codec Dcp_core Dcp_primitives Dcp_stable Dcp_wire List Option Printf String Value Vtype

@@ -1,0 +1,1 @@
+lib/bank/branch.mli: Dcp_core Dcp_wire Port_name Vtype

@@ -1,0 +1,1 @@
+lib/bank/statement.ml: Dcp_core Dcp_primitives Dcp_sim Dcp_wire List String Value Vtype

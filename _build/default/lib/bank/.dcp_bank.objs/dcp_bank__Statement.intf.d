@@ -1,0 +1,1 @@
+lib/bank/statement.mli: Dcp_core Dcp_sim Dcp_wire Port_name Vtype

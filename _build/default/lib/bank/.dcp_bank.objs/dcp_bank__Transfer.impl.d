@@ -1,0 +1,1 @@
+lib/bank/transfer.ml: Array Codec Dcp_core Dcp_primitives Dcp_sim Dcp_stable Dcp_wire List Option Port_name Printf String Value Vtype

@@ -1,0 +1,1 @@
+lib/bank/transfer.mli: Dcp_core Dcp_wire Port_name Vtype

@@ -1,0 +1,138 @@
+open Dcp_wire
+module Runtime = Dcp_core.Runtime
+module Message = Dcp_core.Message
+module Store = Dcp_stable.Store
+module Rpc = Dcp_primitives.Rpc
+
+let def_name = "bank_branch"
+
+let port_type =
+  [
+    Rpc.request_signature "open_account" [ Vtype.Tstr ]
+      ~replies:[ Vtype.reply "ok" [ Vtype.Tint ] ];
+    Rpc.request_signature "deposit" [ Vtype.Tstr; Vtype.Tint ]
+      ~replies:[ Vtype.reply "ok" [ Vtype.Tint ]; Vtype.reply "no_account" [] ];
+    Rpc.request_signature "withdraw" [ Vtype.Tstr; Vtype.Tint ]
+      ~replies:
+        [
+          Vtype.reply "ok" [ Vtype.Tint ];
+          Vtype.reply "insufficient" [];
+          Vtype.reply "no_account" [];
+        ];
+    Rpc.request_signature "balance" [ Vtype.Tstr ]
+      ~replies:[ Vtype.reply "balance" [ Vtype.Tint ]; Vtype.reply "no_account" [] ];
+    Rpc.request_signature "total" [] ~replies:[ Vtype.reply "total" [ Vtype.Tint ] ];
+  ]
+
+let account_key account = "a:" ^ account
+let response_key id = Printf.sprintf "q:%d" id
+
+let get_balance store account =
+  Option.map int_of_string (Store.get store ~key:(account_key account))
+
+let set_balance store account amount =
+  Store.set store ~key:(account_key account) (string_of_int amount)
+
+(* The actual (non-idempotent) operations; exactly-once is layered on top. *)
+let apply store command args =
+  match (command, args) with
+  | "open_account", [ Value.Str account ] ->
+      (match get_balance store account with
+      | Some balance -> ("ok", [ Value.int balance ])
+      | None ->
+          set_balance store account 0;
+          ("ok", [ Value.int 0 ]))
+  | "deposit", [ Value.Str account; Value.Int amount ] ->
+      (match get_balance store account with
+      | None -> ("no_account", [])
+      | Some balance ->
+          let balance = balance + amount in
+          set_balance store account balance;
+          ("ok", [ Value.int balance ]))
+  | "withdraw", [ Value.Str account; Value.Int amount ] ->
+      (match get_balance store account with
+      | None -> ("no_account", [])
+      | Some balance ->
+          if balance < amount then ("insufficient", [])
+          else begin
+            let balance = balance - amount in
+            set_balance store account balance;
+            ("ok", [ Value.int balance ])
+          end)
+  | "balance", [ Value.Str account ] ->
+      (match get_balance store account with
+      | None -> ("no_account", [])
+      | Some balance -> ("balance", [ Value.int balance ]))
+  | "total", [] ->
+      let total =
+        Store.fold store ~init:0 ~f:(fun ~key value acc ->
+            if String.length key > 2 && String.equal (String.sub key 0 2) "a:" then
+              acc + int_of_string value
+            else acc)
+      in
+      ("total", [ Value.int total ])
+  | _ -> ("failure", [ Value.str "unknown branch request" ])
+
+(* Exactly-once: the response to each mutating request id is made permanent
+   *in the same store* as the balances, so a duplicate — even one arriving
+   after a crash and recovery — is answered from the record instead of
+   being re-applied. *)
+let mutating = function "deposit" | "withdraw" | "open_account" -> true | _ -> false
+
+let handle ctx msg =
+  let store = Runtime.store ctx in
+  match (msg.Message.args, msg.Message.reply_to) with
+  | Value.Int id :: rest, Some reply ->
+      let command = msg.Message.command in
+      let reply_command, reply_args =
+        if mutating command then (
+          match Store.get store ~key:(response_key id) with
+          | Some recorded -> (
+              match Codec.decode_exn recorded with
+              | Value.Tuple [ Value.Str c; Value.Listv a ] -> (c, a)
+              | _ -> ("failure", [ Value.str "corrupt response record" ]))
+          | None ->
+              let c, a = apply store command rest in
+              Store.set store ~key:(response_key id)
+                (Codec.encode_exn (Value.tuple [ Value.str c; Value.list a ]));
+              (c, a))
+        else apply store command rest
+      in
+      Runtime.send ctx ~to_:reply reply_command (Value.int id :: reply_args)
+  | _, _ -> ()
+
+let serve ctx =
+  let request_port = Runtime.port ctx 0 in
+  let rec loop () =
+    (match Runtime.receive ctx [ request_port ] with
+    | `Timeout -> ()
+    | `Msg (_, msg) -> handle ctx msg);
+    loop ()
+  in
+  loop ()
+
+let def : Runtime.def =
+  {
+    Runtime.def_name;
+    provides = [ (port_type, 256) ];
+    init =
+      (fun ctx args ->
+        let store = Runtime.store ctx in
+        List.iter
+          (fun v ->
+            match v with
+            | Value.Tuple [ Value.Str account; Value.Int opening ] ->
+                set_balance store account opening
+            | _ -> invalid_arg "bank branch: bad account seed")
+          args;
+        serve ctx);
+    recover = Some serve;
+  }
+
+let create world ~at ~accounts () =
+  if Runtime.find_def world def_name = None then Runtime.register_def world def;
+  let args =
+    List.map (fun (account, opening) -> Value.tuple [ Value.str account; Value.int opening ]) accounts
+  in
+  let g = Runtime.create_guardian world ~at ~def_name ~args in
+  List.hd (Runtime.guardian_ports g)

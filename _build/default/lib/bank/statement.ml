@@ -1,0 +1,101 @@
+open Dcp_wire
+module Runtime = Dcp_core.Runtime
+module Message = Dcp_core.Message
+module Rpc = Dcp_primitives.Rpc
+module Ordered = Dcp_primitives.Ordered
+module Clock = Dcp_sim.Clock
+
+let def_name = "bank_statement"
+
+let port_type =
+  [
+    Rpc.request_signature "request_statement" [ Vtype.Tstr; Vtype.Tport ]
+      ~replies:[ Vtype.reply "streaming" [ Vtype.Tint ]; Vtype.reply "no_entries" [] ];
+  ]
+
+let serve ctx journal =
+  let request_port = Runtime.port ctx 0 in
+  let rec loop () =
+    (match Runtime.receive ctx [ request_port ] with
+    | `Timeout -> ()
+    | `Msg (_, msg) -> (
+        match (msg.Message.command, msg.Message.args) with
+        | "request_statement", [ Value.Int id; Value.Str account; Value.Portv channel ] ->
+            let entries =
+              List.filter (fun (acct, _, _) -> String.equal acct account) journal
+            in
+            (match msg.Message.reply_to with
+            | Some reply ->
+                if entries = [] then Runtime.send ctx ~to_:reply "no_entries" [ Value.int id ]
+                else
+                  Runtime.send ctx ~to_:reply "streaming"
+                    [ Value.int id; Value.int (List.length entries) ]
+            | None -> ());
+            if entries <> [] then
+              (* stream in a forked process so the intake loop stays live *)
+              ignore
+                (Runtime.spawn ctx ~name:("statement." ^ account) (fun () ->
+                     let sender =
+                       Ordered.connect ctx ~to_:channel ~window:8
+                         ~retransmit_every:(Clock.ms 50) ()
+                     in
+                     List.iteri
+                       (fun seq (_, description, amount) ->
+                         Ordered.send sender
+                           (Value.tuple
+                              [ Value.int seq; Value.str description; Value.int amount ]))
+                       entries;
+                     ignore (Ordered.flush sender ~timeout:(Clock.s 30));
+                     Ordered.close sender))
+        | _ -> ()));
+    loop ()
+  in
+  loop ()
+
+let parse_journal args =
+  List.map
+    (fun v ->
+      match v with
+      | Value.Tuple [ Value.Str account; Value.Str description; Value.Int amount ] ->
+          (account, description, amount)
+      | _ -> invalid_arg "statement guardian: malformed journal row")
+    args
+
+let def : Runtime.def =
+  {
+    Runtime.def_name;
+    provides = [ (port_type, 64) ];
+    init = (fun ctx args -> serve ctx (parse_journal args));
+    recover = None;
+  }
+
+let create world ~at ~journal () =
+  if Runtime.find_def world def_name = None then Runtime.register_def world def;
+  let args =
+    List.map
+      (fun (account, description, amount) ->
+        Value.tuple [ Value.str account; Value.str description; Value.int amount ])
+      journal
+  in
+  let g = Runtime.create_guardian world ~at ~def_name ~args in
+  List.hd (Runtime.guardian_ports g)
+
+let fetch_statement ctx ~statements ~account ~timeout =
+  let receiver = Ordered.receiver ctx ~capacity:128 () in
+  match
+    Rpc.call ctx ~to_:statements ~timeout "request_statement"
+      [ Value.str account; Value.port (Ordered.receiver_port receiver) ]
+  with
+  | Rpc.Reply ("no_entries", _) -> Some []
+  | Rpc.Reply ("streaming", [ Value.Int expected ]) ->
+      let rec gather acc remaining =
+        if remaining = 0 then Some (List.rev acc)
+        else
+          match Ordered.recv receiver ~timeout () with
+          | Some (Value.Tuple [ Value.Int _; Value.Str description; Value.Int amount ]) ->
+              gather ((description, amount) :: acc) (remaining - 1)
+          | Some _ -> gather acc remaining
+          | None -> None
+      in
+      gather [] expected
+  | Rpc.Reply _ | Rpc.Failure_msg _ | Rpc.Timeout -> None

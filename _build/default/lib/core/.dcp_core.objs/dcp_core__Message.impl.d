@@ -1,0 +1,1 @@
+lib/core/message.ml: Dcp_sim Dcp_wire Format Option Port_name String Value

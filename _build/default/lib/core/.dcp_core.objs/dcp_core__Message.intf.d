@@ -1,0 +1,1 @@
+lib/core/message.mli: Dcp_sim Dcp_wire Format Port_name Value

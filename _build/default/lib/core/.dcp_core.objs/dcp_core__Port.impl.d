@@ -1,0 +1,1 @@
+lib/core/port.ml: Dcp_sim Dcp_wire List Message Option Port_name Process Queue Vtype

@@ -1,0 +1,1 @@
+lib/core/port.mli: Dcp_sim Dcp_wire Message Port_name Vtype

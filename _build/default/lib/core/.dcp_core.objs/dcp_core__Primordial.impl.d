@@ -1,0 +1,1 @@
+lib/core/primordial.ml: Dcp_net Dcp_wire List Message Port Printf Runtime String Value Vtype

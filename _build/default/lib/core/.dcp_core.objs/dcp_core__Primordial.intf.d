@@ -1,0 +1,1 @@
+lib/core/primordial.mli: Dcp_sim Dcp_wire Port_name Runtime Value Vtype

@@ -1,0 +1,1 @@
+lib/core/process.ml: Dcp_sim Effect Fun Logs Printexc

@@ -1,0 +1,1 @@
+lib/core/process.mli: Dcp_sim

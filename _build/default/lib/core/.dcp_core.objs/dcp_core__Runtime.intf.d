@@ -1,0 +1,1 @@
+lib/core/runtime.mli: Codec Dcp_net Dcp_rng Dcp_sim Dcp_stable Dcp_wire Message Port Port_name Process Sync Token Transmit Value Vtype

@@ -1,0 +1,1 @@
+lib/core/sync.ml: Dcp_sim Fun List Process Queue

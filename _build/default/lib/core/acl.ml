@@ -1,0 +1,86 @@
+type principal = string
+type permission = string
+
+module Pair = struct
+  type t = string * string
+
+  let equal (a1, b1) (a2, b2) = String.equal a1 a2 && String.equal b1 b2
+  let hash = Hashtbl.hash
+end
+
+module Pair_tbl = Hashtbl.Make (Pair)
+
+type t = {
+  direct : unit Pair_tbl.t;  (** (principal, permission) *)
+  group_grants : unit Pair_tbl.t;  (** (group, permission) *)
+  membership : unit Pair_tbl.t;  (** (principal, group) *)
+  mutable public : permission list;
+}
+
+let create () =
+  {
+    direct = Pair_tbl.create 16;
+    group_grants = Pair_tbl.create 16;
+    membership = Pair_tbl.create 16;
+    public = [];
+  }
+
+let grant t ~principal ~permission = Pair_tbl.replace t.direct (principal, permission) ()
+let revoke t ~principal ~permission = Pair_tbl.remove t.direct (principal, permission)
+
+let allow_all t ~permission =
+  if not (List.mem permission t.public) then t.public <- permission :: t.public
+
+let disallow_all t ~permission =
+  t.public <- List.filter (fun p -> not (String.equal p permission)) t.public
+
+let add_to_group t ~principal ~group = Pair_tbl.replace t.membership (principal, group) ()
+let remove_from_group t ~principal ~group = Pair_tbl.remove t.membership (principal, group)
+let grant_group t ~group ~permission = Pair_tbl.replace t.group_grants (group, permission) ()
+let revoke_group t ~group ~permission = Pair_tbl.remove t.group_grants (group, permission)
+
+let groups_of t principal =
+  Pair_tbl.fold
+    (fun (p, group) () acc -> if String.equal p principal then group :: acc else acc)
+    t.membership []
+
+let check t ~principal ~permission =
+  List.mem permission t.public
+  || Pair_tbl.mem t.direct (principal, permission)
+  || List.exists
+       (fun group -> Pair_tbl.mem t.group_grants (group, permission))
+       (groups_of t principal)
+
+let permissions_of t ~principal =
+  let direct =
+    Pair_tbl.fold
+      (fun (p, permission) () acc -> if String.equal p principal then permission :: acc else acc)
+      t.direct []
+  in
+  let via_groups =
+    List.concat_map
+      (fun group ->
+        Pair_tbl.fold
+          (fun (g, permission) () acc -> if String.equal g group then permission :: acc else acc)
+          t.group_grants [])
+      (groups_of t principal)
+  in
+  List.sort_uniq String.compare (t.public @ direct @ via_groups)
+
+let principals_with t ~permission =
+  let direct =
+    Pair_tbl.fold
+      (fun (principal, p) () acc -> if String.equal p permission then principal :: acc else acc)
+      t.direct []
+  in
+  let groups =
+    Pair_tbl.fold
+      (fun (group, p) () acc -> if String.equal p permission then group :: acc else acc)
+      t.group_grants []
+  in
+  let members =
+    Pair_tbl.fold
+      (fun (principal, group) () acc -> if List.mem group groups then principal :: acc else acc)
+      t.membership []
+  in
+  List.sort_uniq String.compare (direct @ members)

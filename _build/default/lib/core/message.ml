@@ -1,0 +1,42 @@
+open Dcp_wire
+
+type t = {
+  command : string;
+  args : Value.t list;
+  reply_to : Port_name.t option;
+  sent_at : Dcp_sim.Clock.time;
+}
+
+let make ?reply_to ~sent_at command args = { command; args; reply_to; sent_at }
+let failure ~reason ~sent_at = { command = "failure"; args = [ Value.str reason ]; reply_to = None; sent_at }
+let is_failure t = String.equal t.command "failure"
+
+let pp fmt t =
+  Format.fprintf fmt "%s(%a)" t.command
+    (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ") Value.pp)
+    t.args;
+  match t.reply_to with
+  | None -> ()
+  | Some p -> Format.fprintf fmt " replyto %a" Port_name.pp p
+
+let envelope ~target t =
+  Value.record
+    [
+      ("target", Value.port target);
+      ("command", Value.str t.command);
+      ("args", Value.list t.args);
+      ("reply", Value.option (Option.map Value.port t.reply_to));
+      ("sent_at", Value.int t.sent_at);
+    ]
+
+let of_envelope v =
+  match
+    let target = Value.get_port (Value.field v "target") in
+    let command = Value.get_str (Value.field v "command") in
+    let args = Value.get_list (Value.field v "args") in
+    let reply_to = Option.map Value.get_port (Value.get_option (Value.field v "reply")) in
+    let sent_at = Value.get_int (Value.field v "sent_at") in
+    (target, { command; args; reply_to; sent_at })
+  with
+  | result -> Ok result
+  | exception Value.Type_mismatch reason -> Error reason

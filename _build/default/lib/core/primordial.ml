@@ -1,0 +1,103 @@
+open Dcp_wire
+
+let def_name = "primordial"
+
+let port_type =
+  [
+    Vtype.signature "create_guardian"
+      [ Vtype.Tstr; Vtype.Tlist Vtype.Tany ]
+      ~replies:
+        [
+          Vtype.reply "created" [ Vtype.Tlist Vtype.Tport ];
+          Vtype.reply "create_failed" [ Vtype.Tstr ];
+        ];
+    Vtype.signature "ping" [] ~replies:[ Vtype.reply "pong" [] ];
+    (* RPC-convention variant: ping with a request id echoed in the pong *)
+    Vtype.signature "ping" [ Vtype.Tint ] ~replies:[ Vtype.reply "pong" [ Vtype.Tint ] ];
+  ]
+
+let reply_to ctx ~port command args =
+  match port with
+  | None -> ()
+  | Some p -> Runtime.send ctx ~to_:p command args
+
+let handle ctx msg =
+  match (msg.Message.command, msg.Message.args) with
+  | "create_guardian", [ Value.Str name; Value.Listv args ] -> (
+      match Runtime.find_def (Runtime.ctx_world ctx) name with
+      | None ->
+          reply_to ctx ~port:msg.Message.reply_to "create_failed"
+            [ Value.str (Printf.sprintf "unknown guardian definition %s" name) ]
+      | Some _ ->
+          let g = Runtime.ctx_create_guardian ctx ~def_name:name ~args in
+          let ports = List.map Value.port (Runtime.guardian_ports g) in
+          reply_to ctx ~port:msg.Message.reply_to "created" [ Value.list ports ])
+  | "ping", [] -> reply_to ctx ~port:msg.Message.reply_to "pong" []
+  | "ping", [ Value.Int id ] -> reply_to ctx ~port:msg.Message.reply_to "pong" [ Value.int id ]
+  | "failure", _ -> ()
+  | _ ->
+      reply_to ctx ~port:msg.Message.reply_to "create_failed"
+        [ Value.str "unrecognised request" ]
+
+let rec serve ctx =
+  (match Runtime.receive ctx [ Runtime.port ctx 0 ] with
+  | `Msg (_, msg) -> handle ctx msg
+  | `Timeout -> ());
+  serve ctx
+
+let def : Runtime.def =
+  {
+    def_name;
+    provides = [ (port_type, 128) ];
+    init = (fun ctx _args -> serve ctx);
+    recover = Some serve;
+  }
+
+let install world =
+  if Runtime.find_def world def_name = None then Runtime.register_def world def;
+  let topology = Dcp_net.Network.topology (Runtime.network world) in
+  let has_primordial node =
+    List.exists
+      (fun g -> String.equal (Runtime.guardian_def_name g) def_name)
+      (Runtime.guardians_at world node)
+  in
+  List.iter
+    (fun node ->
+      if not (has_primordial node) then
+        ignore (Runtime.create_guardian world ~at:node ~def_name ~args:[]))
+    (Dcp_net.Topology.nodes topology)
+
+let port_of world node =
+  let primordial =
+    List.find
+      (fun g -> String.equal (Runtime.guardian_def_name g) def_name)
+      (Runtime.guardians_at world node)
+  in
+  match Runtime.guardian_ports primordial with
+  | p :: _ -> p
+  | [] -> raise Not_found
+
+let request_create ctx ~at ~def_name ~args ~timeout =
+  let world = Runtime.ctx_world ctx in
+  let target = port_of world at in
+  let reply_port =
+    Runtime.new_port ctx
+      [
+        Vtype.signature "created" [ Vtype.Tlist Vtype.Tport ];
+        Vtype.signature "create_failed" [ Vtype.Tstr ];
+      ]
+  in
+  Runtime.send ctx ~to_:target ~reply_to:(Port.name reply_port) "create_guardian"
+    [ Value.str def_name; Value.list args ];
+  let outcome =
+    match Runtime.receive ctx ~timeout [ reply_port ] with
+    | `Timeout -> `Timeout
+    | `Msg (_, msg) -> (
+        match (msg.Message.command, msg.Message.args) with
+        | "created", [ Value.Listv ports ] -> `Created (List.map Value.get_port ports)
+        | "create_failed", [ Value.Str reason ] -> `Refused reason
+        | "failure", [ Value.Str reason ] -> `Refused reason
+        | _ -> `Refused "malformed reply")
+  in
+  Runtime.remove_port ctx reply_port;
+  outcome

@@ -1,0 +1,481 @@
+open Dcp_wire
+module Clock = Dcp_sim.Clock
+module Engine = Dcp_sim.Engine
+module Metrics = Dcp_sim.Metrics
+module Trace = Dcp_sim.Trace
+module Network = Dcp_net.Network
+module Topology = Dcp_net.Topology
+module Store = Dcp_stable.Store
+module Rng = Dcp_rng.Rng
+
+type node_id = int
+
+type config = {
+  codec : Codec.config;
+  mtu : int;
+  local_delay : Clock.time;
+  crash_tear_p : float;
+  default_port_capacity : int;
+  processors_per_node : int;
+}
+
+let default_config =
+  {
+    codec = Codec.default_config;
+    mtu = 1024;
+    local_delay = Clock.us 5;
+    crash_tear_p = 0.3;
+    default_port_capacity = 64;
+    processors_per_node = 8;
+  }
+
+type world = {
+  engine : Engine.t;
+  network : Network.t;
+  config : config;
+  registry : Transmit.registry;
+  metrics : Metrics.registry;
+  trace : Trace.t;
+  sys_rng : Rng.t;  (** secrets, crash tears *)
+  workload_rng : Rng.t;  (** handed to user workload generators *)
+  nodes : (node_id, node) Hashtbl.t;
+  defs : (string, def) Hashtbl.t;
+  mutable next_guardian_id : int;
+  mutable next_port_uid : int;
+}
+
+and node = {
+  node_id : node_id;
+  world : world;
+  mutable up : bool;
+  mutable guardians : guardian list;  (** newest first *)
+  mutable crash_count : int;
+  mutable cpus : Sync.semaphore;  (** the node's processors (§1.1) *)
+}
+
+and guardian = {
+  gid : int;
+  gdef : def;
+  home : node;
+  secret : int64;
+  gstore : Store.t;
+  mutable galive : bool;
+  mutable gports : Port.t list;  (** creation order *)
+  gport_index : (int, Port.t) Hashtbl.t;  (** port uid -> port, for delivery *)
+  mutable gprocs : Process.t list;
+}
+
+and def = {
+  def_name : string;
+  provides : (Vtype.port_type * int) list;
+  init : ctx -> Value.t list -> unit;
+  recover : (ctx -> unit) option;
+}
+
+and ctx = { cworld : world; cguardian : guardian }
+
+let engine w = w.engine
+let network w = w.network
+let now w = Engine.now w.engine
+let run w = Engine.run w.engine
+let run_for w d = Engine.run_for w.engine d
+let metrics w = w.metrics
+let trace w = w.trace
+let registry w = w.registry
+let world_rng w = w.workload_rng
+
+let count w name = Metrics.incr (Metrics.counter w.metrics name)
+let tracef w category fmt = Trace.recordf w.trace ~at:(now w) ~category fmt
+
+let register_def w def =
+  if Hashtbl.mem w.defs def.def_name then
+    invalid_arg (Printf.sprintf "Runtime.register_def: %s already registered" def.def_name);
+  Hashtbl.replace w.defs def.def_name def
+
+let find_def w name = Hashtbl.find_opt w.defs name
+
+let guardian_id g = g.gid
+let guardian_def_name g = g.gdef.def_name
+let guardian_node g = g.home.node_id
+let guardian_alive g = g.galive
+let guardian_ports g = List.map Port.name g.gports
+let guardians_at w node_id =
+  match Hashtbl.find_opt w.nodes node_id with
+  | None -> []
+  | Some node -> List.rev node.guardians
+
+let guardian_store g = g.gstore
+
+let find_guardians w ~def_name =
+  Hashtbl.fold
+    (fun _ node acc ->
+      List.rev_append
+        (List.filter (fun g -> String.equal g.gdef.def_name def_name) node.guardians)
+        acc)
+    w.nodes []
+
+let node_up w node_id =
+  match Hashtbl.find_opt w.nodes node_id with None -> false | Some n -> n.up
+
+let crash_count w node_id =
+  match Hashtbl.find_opt w.nodes node_id with None -> 0 | Some n -> n.crash_count
+
+let ctx_world c = c.cworld
+let ctx_guardian c = c.cguardian
+let ctx_node c = c.cguardian.home.node_id
+let ctx_now c = now c.cworld
+
+exception Send_failed of string
+
+(* ------------------------------------------------------------------ *)
+(* Delivery                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let find_port_in g target =
+  match Hashtbl.find_opt g.gport_index target.Port_name.uid with
+  | Some p when Port_name.equal (Port.name p) target -> Some p
+  | Some _ | None -> None
+
+let find_guardian_in node gid = List.find_opt (fun g -> g.gid = gid) node.guardians
+
+(* Forward reference so [reject] can send system failure messages through
+   the normal routing path without mutual module recursion. *)
+let route_ref :
+    (world -> from_node:node_id -> target:Port_name.t -> Message.t -> unit) ref =
+  ref (fun _ ~from_node:_ ~target:_ _ -> assert false)
+
+let reject w node msg reason =
+  count w "deliver.discarded";
+  tracef w "discard" "%s: %a" reason Message.pp msg;
+  match msg.Message.reply_to with
+  | Some reply_port when not (Message.is_failure msg) ->
+      count w "failure.sent";
+      let failure = Message.failure ~reason ~sent_at:(now w) in
+      !route_ref w ~from_node:node.node_id ~target:reply_port failure
+  | Some _ | None -> ()
+
+let deliver_message w node target msg =
+  match find_guardian_in node target.Port_name.guardian with
+  | None -> reject w node msg "target guardian does not exist"
+  | Some g when not g.galive -> reject w node msg "target guardian does not exist"
+  | Some g -> (
+      match find_port_in g target with
+      | None -> reject w node msg "target port does not exist"
+      | Some port -> (
+          match Vtype.check_message (Port.ptype port) ~command:msg.Message.command msg.Message.args with
+          | Error reason -> reject w node msg ("message rejected: " ^ reason)
+          | Ok () -> (
+              match Port.enqueue port msg with
+              | `Delivered | `Queued ->
+                  count w "deliver.ok";
+                  Metrics.observe
+                    (Metrics.histogram w.metrics "latency.message_us")
+                    (Clock.to_float_us (Clock.diff (now w) msg.Message.sent_at))
+              | `Full -> reject w node msg "no room at target port"
+              | `Closed -> reject w node msg "target port does not exist")))
+
+let deliver_body w dst_node_id body =
+  match Hashtbl.find_opt w.nodes dst_node_id with
+  | None -> count w "deliver.unknown_node"
+  | Some node ->
+      if not node.up then count w "deliver.node_down"
+      else (
+        match Codec.decode ~config:w.config.codec body with
+        | Error _ -> count w "deliver.malformed"
+        | Ok env -> (
+            match Message.of_envelope env with
+            | Error _ -> count w "deliver.malformed"
+            | Ok (target, msg) -> deliver_message w node target msg))
+
+(* Route an already-composed message from a node to a target port,
+   encoding it on the way out (bounds checks apply to system messages
+   too). *)
+let route w ~from_node ~target msg =
+  let env = Message.envelope ~target msg in
+  match Codec.encode ~config:w.config.codec env with
+  | Error e -> raise (Send_failed (Format.asprintf "%a" Codec.pp_error e))
+  | Ok body ->
+      if target.Port_name.node = from_node then begin
+        count w "send.local";
+        ignore
+          (Engine.schedule_after w.engine ~delay:w.config.local_delay (fun () ->
+               deliver_body w target.Port_name.node body))
+      end
+      else begin
+        count w "send.remote";
+        Network.send w.network ~src:from_node ~dst:target.Port_name.node body
+      end
+
+let () = route_ref := route
+
+(* ------------------------------------------------------------------ *)
+(* World setup                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let install_handler w node =
+  Network.set_handler w.network node.node_id (fun ~src:_ body ->
+      deliver_body w node.node_id body)
+
+let create_world ~seed ~topology ?(config = default_config) () =
+  let root = Rng.create ~seed in
+  let net_rng = Rng.split root in
+  let sys_rng = Rng.split root in
+  let workload_rng = Rng.split root in
+  let engine = Engine.create () in
+  let network = Network.create ~engine ~rng:net_rng ~topology ~mtu:config.mtu () in
+  let w =
+    {
+      engine;
+      network;
+      config;
+      registry = Transmit.registry ();
+      metrics = Metrics.registry ();
+      trace = Trace.create ();
+      sys_rng;
+      workload_rng;
+      nodes = Hashtbl.create 16;
+      defs = Hashtbl.create 16;
+      next_guardian_id = 0;
+      next_port_uid = 0;
+    }
+  in
+  List.iter
+    (fun node_id ->
+      let node =
+        {
+          node_id;
+          world = w;
+          up = true;
+          guardians = [];
+          crash_count = 0;
+          cpus = Sync.semaphore engine config.processors_per_node;
+        }
+      in
+      Hashtbl.replace w.nodes node_id node;
+      install_handler w node)
+    (Topology.nodes topology);
+  w
+
+(* ------------------------------------------------------------------ *)
+(* Guardian lifecycle                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_port w ~gid ~node_id ~index ~ptype ~capacity =
+  let uid = w.next_port_uid in
+  w.next_port_uid <- uid + 1;
+  let name = Port_name.make ~node:node_id ~guardian:gid ~index ~uid in
+  Port.create ~name ~ptype ~capacity
+
+let spawn_in g ~name body =
+  let p = Process.spawn g.home.world.engine ~name body in
+  g.gprocs <- p :: g.gprocs;
+  p
+
+let create_guardian_at w node ~def ~args =
+  if not node.up then invalid_arg "Runtime.create_guardian: node is down";
+  let gid = w.next_guardian_id in
+  w.next_guardian_id <- gid + 1;
+  let g =
+    {
+      gid;
+      gdef = def;
+      home = node;
+      secret = Rng.bits64 w.sys_rng;
+      gstore = Store.create ();
+      galive = true;
+      gports = [];
+      gport_index = Hashtbl.create 8;
+      gprocs = [];
+    }
+  in
+  let make_port index (ptype, capacity) =
+    fresh_port w ~gid ~node_id:node.node_id ~index ~ptype ~capacity
+  in
+  g.gports <- List.mapi make_port def.provides;
+  List.iter (fun p -> Hashtbl.replace g.gport_index (Port.name p).Port_name.uid p) g.gports;
+  node.guardians <- g :: node.guardians;
+  count w "guardian.created";
+  tracef w "guardian" "created %s#%d at node %d" def.def_name gid node.node_id;
+  let ctx = { cworld = w; cguardian = g } in
+  ignore (spawn_in g ~name:(def.def_name ^ ".init") (fun () -> def.init ctx args));
+  g
+
+let create_guardian w ~at ~def_name ~args =
+  let node =
+    match Hashtbl.find_opt w.nodes at with
+    | Some node -> node
+    | None -> invalid_arg (Printf.sprintf "Runtime.create_guardian: unknown node %d" at)
+  in
+  let def =
+    match find_def w def_name with
+    | Some def -> def
+    | None -> invalid_arg (Printf.sprintf "Runtime.create_guardian: unknown def %s" def_name)
+  in
+  create_guardian_at w node ~def ~args
+
+let ctx_create_guardian c ~def_name ~args =
+  let w = c.cworld in
+  let def =
+    match find_def w def_name with
+    | Some def -> def
+    | None -> invalid_arg (Printf.sprintf "Runtime.ctx_create_guardian: unknown def %s" def_name)
+  in
+  (* The paper's placement rule: "The node at which a guardian is created is
+     the node where it will exist for its lifetime.  It must have been
+     created by (a process in) a guardian at that node." *)
+  create_guardian_at w c.cguardian.home ~def ~args
+
+let kill_guardian_volatile g =
+  List.iter Port.close g.gports;
+  List.iter Process.kill g.gprocs;
+  g.gprocs <- [];
+  g.galive <- false
+
+let self_destruct c =
+  let g = c.cguardian in
+  if g.galive then begin
+    kill_guardian_volatile g;
+    count c.cworld "guardian.self_destructed";
+    tracef c.cworld "guardian" "self-destruct %s#%d" g.gdef.def_name g.gid
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Node failure and recovery                                           *)
+(* ------------------------------------------------------------------ *)
+
+let crash_node w node_id =
+  match Hashtbl.find_opt w.nodes node_id with
+  | None -> invalid_arg "Runtime.crash_node: unknown node"
+  | Some node ->
+      if node.up then begin
+        node.up <- false;
+        node.crash_count <- node.crash_count + 1;
+        Network.clear_handler w.network node_id;
+        List.iter
+          (fun g ->
+            let was_alive = g.galive in
+            kill_guardian_volatile g;
+            (* Only recoverable guardians will come back; their stable
+               stores survive the crash, possibly with a torn tail. *)
+            if was_alive then Store.crash g.gstore ~tear:(w.sys_rng, w.config.crash_tear_p) ())
+          node.guardians;
+        count w "node.crashed";
+        tracef w "crash" "node %d crashed" node_id
+      end
+
+let restart_node w node_id =
+  match Hashtbl.find_opt w.nodes node_id with
+  | None -> invalid_arg "Runtime.restart_node: unknown node"
+  | Some node ->
+      if not node.up then begin
+        node.up <- true;
+        (* fresh processors: units held by processes the crash killed are
+           not owed to anyone *)
+        node.cpus <- Sync.semaphore w.engine w.config.processors_per_node;
+        install_handler w node;
+        count w "node.restarted";
+        tracef w "restart" "node %d restarted" node_id;
+        List.iter
+          (fun g ->
+            match g.gdef.recover with
+            | None -> ()  (* forgotten, per §3.5 *)
+            | Some recover_proc ->
+                let replayed = Store.recover g.gstore in
+                (* Only the birth ports (declared in the guardian header)
+                   survive recovery; runtime-minted ports — conversation
+                   state, like Figure 5's transaction ports — are forgotten
+                   with the processes that owned them.  Stale senders get
+                   failure("target port does not exist"). *)
+                let births = List.length g.gdef.provides in
+                g.gports <- List.filteri (fun i _ -> i < births) g.gports;
+                Hashtbl.reset g.gport_index;
+                List.iter
+                  (fun p -> Hashtbl.replace g.gport_index (Port.name p).Port_name.uid p)
+                  g.gports;
+                List.iter Port.reopen g.gports;
+                g.galive <- true;
+                count w "guardian.recovered";
+                tracef w "guardian" "recovered %s#%d (replayed %d records)" g.gdef.def_name
+                  g.gid replayed;
+                let ctx = { cworld = w; cguardian = g } in
+                ignore
+                  (spawn_in g ~name:(g.gdef.def_name ^ ".recover") (fun () -> recover_proc ctx)))
+          node.guardians
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Send and receive                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let send c ~to_ ?reply_to command args =
+  let w = c.cworld in
+  let g = c.cguardian in
+  if not g.galive then count w "send.dead_guardian"
+  else begin
+    count w "send.total";
+    (* §3.4 step 1: encode the arguments; failures surface at the sender. *)
+    (match Transmit.check_named w.registry (Value.list args) with
+    | Ok () -> ()
+    | Error reason -> raise (Send_failed reason));
+    let msg = Message.make ?reply_to ~sent_at:(now w) command args in
+    tracef w "send" "%s#%d -> %a: %a" g.gdef.def_name g.gid Port_name.pp to_ Message.pp msg;
+    route w ~from_node:g.home.node_id ~target:to_ msg
+  end
+
+let receive c ?timeout ports =
+  let g = c.cguardian in
+  let owned p = Port.name p |> fun n -> n.Port_name.guardian = g.gid in
+  if not (List.for_all owned ports) then
+    invalid_arg "Runtime.receive: can only receive on this guardian's own ports";
+  Port.receive c.cworld.engine ~ports ~timeout
+
+let port c index =
+  match List.nth_opt c.cguardian.gports index with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Runtime.port: guardian has no port %d" index)
+
+let new_port c ?capacity ptype =
+  let w = c.cworld in
+  let g = c.cguardian in
+  let capacity = Option.value capacity ~default:w.config.default_port_capacity in
+  let p =
+    fresh_port w ~gid:g.gid ~node_id:g.home.node_id ~index:(List.length g.gports) ~ptype
+      ~capacity
+  in
+  g.gports <- g.gports @ [ p ];
+  Hashtbl.replace g.gport_index (Port.name p).Port_name.uid p;
+  p
+
+let remove_port c p =
+  let g = c.cguardian in
+  let uid = (Port.name p).Port_name.uid in
+  Port.close p;
+  Hashtbl.remove g.gport_index uid;
+  g.gports <- List.filter (fun q -> not (Port_name.equal (Port.name q) (Port.name p))) g.gports
+
+let spawn c ~name body = spawn_in c.cguardian ~name body
+let sleep c d = Process.sleep c.cworld.engine d
+
+let compute c d =
+  let node = c.cguardian.home in
+  Sync.acquire node.cpus;
+  Process.sleep c.cworld.engine d;
+  (* a killed process never reaches this release; the node's crash/restart
+     resets the processor pool, matching reality *)
+  Sync.release node.cpus
+
+let idle_processors w node_id =
+  match Hashtbl.find_opt w.nodes node_id with
+  | None -> 0
+  | Some node -> Sync.available node.cpus
+let store c = c.cguardian.gstore
+
+let seal_token c ~obj =
+  Token.seal ~secret:c.cguardian.secret ~owner:c.cguardian.gid ~obj
+
+let unseal_token c token =
+  Token.unseal ~secret:c.cguardian.secret ~owner:c.cguardian.gid token
+
+let sync_mutex c = Sync.mutex c.cworld.engine
+let sync_condition c = Sync.condition c.cworld.engine
+let sync_keyed_lock c = Sync.keyed_lock c.cworld.engine

@@ -1,0 +1,1 @@
+lib/net/link.ml: Dcp_rng Dcp_sim Float Int

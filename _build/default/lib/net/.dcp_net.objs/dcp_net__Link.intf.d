@@ -1,0 +1,1 @@
+lib/net/link.mli: Dcp_rng Dcp_sim

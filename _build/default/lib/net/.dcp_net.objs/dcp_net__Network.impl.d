@@ -1,0 +1,1 @@
+lib/net/network.ml: Dcp_rng Dcp_sim Hashtbl Int Link List Option Packet Topology

@@ -1,0 +1,1 @@
+lib/net/network.mli: Dcp_rng Dcp_sim Topology

@@ -1,0 +1,1 @@
+lib/net/packet.ml: Array Bytes Char Crc32 Dcp_rng Dcp_sim Hashtbl Int Int32 List String

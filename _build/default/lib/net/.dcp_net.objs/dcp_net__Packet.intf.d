@@ -1,0 +1,1 @@
+lib/net/packet.mli: Dcp_rng Dcp_sim

@@ -1,0 +1,31 @@
+let polynomial = 0xedb88320l
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           if Int32.logand !c 1l <> 0l then
+             c := Int32.logxor (Int32.shift_right_logical !c 1) polynomial
+           else c := Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let init = 0xffffffffl
+let finalize crc = Int32.logxor crc 0xffffffffl
+
+let update crc ch =
+  let table = Lazy.force table in
+  let index = Int32.to_int (Int32.logand (Int32.logxor crc (Int32.of_int (Char.code ch))) 0xffl) in
+  Int32.logxor (Int32.shift_right_logical crc 8) table.(index)
+
+let digest_sub b ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then invalid_arg "Crc32.digest_sub";
+  let crc = ref init in
+  for i = pos to pos + len - 1 do
+    crc := update !crc (Bytes.get b i)
+  done;
+  finalize !crc
+
+let digest_bytes b = digest_sub b ~pos:0 ~len:(Bytes.length b)
+let digest_string s = digest_bytes (Bytes.unsafe_of_string s)

@@ -1,0 +1,166 @@
+module Engine = Dcp_sim.Engine
+module Rng = Dcp_rng.Rng
+
+type node_id = Topology.node_id
+
+type stats = {
+  messages_sent : int;
+  messages_delivered : int;
+  fragments_sent : int;
+  fragments_lost : int;
+  fragments_corrupted : int;
+  fragments_duplicated : int;
+  partition_drops : int;
+  bytes_sent : int;
+}
+
+let empty_stats =
+  {
+    messages_sent = 0;
+    messages_delivered = 0;
+    fragments_sent = 0;
+    fragments_lost = 0;
+    fragments_corrupted = 0;
+    fragments_duplicated = 0;
+    partition_drops = 0;
+    bytes_sent = 0;
+  }
+
+type t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  topology : Topology.t;
+  mtu : int;
+  queueing : bool;
+  busy_until : (node_id * node_id, Dcp_sim.Clock.time) Hashtbl.t;
+      (** per directed link: when its transmitter frees up (queueing mode) *)
+  handlers : (node_id, src:node_id -> string -> unit) Hashtbl.t;
+  reassembly : (node_id, Packet.Reassembly.t) Hashtbl.t;
+  mutable groups : node_id list list option;
+  mutable next_msg_id : int;
+  mutable stats : stats;
+}
+
+let create ~engine ~rng ~topology ?(mtu = 1024) ?(queueing = false) () =
+  if mtu <= 0 then invalid_arg "Network.create: mtu must be positive";
+  {
+    engine;
+    rng;
+    topology;
+    mtu;
+    queueing;
+    busy_until = Hashtbl.create 16;
+    handlers = Hashtbl.create 16;
+    reassembly = Hashtbl.create 16;
+    groups = None;
+    next_msg_id = 0;
+    stats = empty_stats;
+  }
+
+let engine t = t.engine
+let topology t = t.topology
+let set_handler t node f = Hashtbl.replace t.handlers node f
+let clear_handler t node = Hashtbl.remove t.handlers node
+
+let partition t groups = t.groups <- Some groups
+let heal t = t.groups <- None
+
+let partitioned t ~src ~dst =
+  match t.groups with
+  | None -> false
+  | Some groups ->
+      let group_of node =
+        let rec find i = function
+          | [] -> None
+          | g :: rest -> if List.mem node g then Some i else find (i + 1) rest
+        in
+        find 0 groups
+      in
+      (match (group_of src, group_of dst) with
+      | Some a, Some b -> a <> b
+      | None, _ | _, None -> src <> dst)
+
+let reassembly_for t node =
+  match Hashtbl.find_opt t.reassembly node with
+  | Some r -> r
+  | None ->
+      let r = Packet.Reassembly.create () in
+      Hashtbl.add t.reassembly node r;
+      r
+
+let deliver_fragment t frag =
+  (* Re-check the partition at arrival time: packets in flight when a
+     partition forms are lost, like packets on a cut wire. *)
+  if partitioned t ~src:frag.Packet.src ~dst:frag.Packet.dst then
+    t.stats <- { t.stats with partition_drops = t.stats.partition_drops + 1 }
+  else if not (Packet.intact frag) then
+    t.stats <- { t.stats with fragments_corrupted = t.stats.fragments_corrupted + 1 }
+  else begin
+    let r = reassembly_for t frag.Packet.dst in
+    match Packet.Reassembly.offer r ~now:(Engine.now t.engine) frag with
+    | None -> ()
+    | Some (src, body) -> (
+        match Hashtbl.find_opt t.handlers frag.Packet.dst with
+        | None -> ()
+        | Some handler ->
+            t.stats <- { t.stats with messages_delivered = t.stats.messages_delivered + 1 };
+            handler ~src body)
+  end
+
+let send t ~src ~dst body =
+  t.stats <- { t.stats with messages_sent = t.stats.messages_sent + 1 };
+  if partitioned t ~src ~dst then
+    t.stats <- { t.stats with partition_drops = t.stats.partition_drops + 1 }
+  else begin
+    let msg_id = t.next_msg_id in
+    t.next_msg_id <- t.next_msg_id + 1;
+    let link = Topology.link t.topology ~src ~dst in
+    let fragments = Packet.fragment ~src ~dst ~msg_id ~mtu:t.mtu body in
+    (* In queueing mode the link's transmitter is a FIFO resource: a
+       fragment's departure waits behind everything already clocked onto
+       this directed link. *)
+    let queueing_delay size =
+      if not (t.queueing && link.Link.bandwidth <> None) then 0
+      else begin
+        let key = (src, dst) in
+        let now = Engine.now t.engine in
+        let free_at = Option.value (Hashtbl.find_opt t.busy_until key) ~default:now in
+        let start = Int.max now free_at in
+        let depart = start + Link.serialization_time link ~size in
+        Hashtbl.replace t.busy_until key depart;
+        depart - now
+      end
+    in
+    let include_serialization = not (t.queueing && link.Link.bandwidth <> None) in
+    let transmit_one frag =
+      let size = Packet.wire_size frag in
+      t.stats <-
+        {
+          t.stats with
+          fragments_sent = t.stats.fragments_sent + 1;
+          bytes_sent = t.stats.bytes_sent + size;
+        };
+      let extra = queueing_delay size in
+      match Link.transmit link ~include_serialization t.rng ~size with
+      | Link.Drop -> t.stats <- { t.stats with fragments_lost = t.stats.fragments_lost + 1 }
+      | Link.Corrupt_deliver delay ->
+          let damaged = Packet.corrupt t.rng frag in
+          ignore
+            (Engine.schedule_after t.engine ~delay:(delay + extra) (fun () ->
+                 deliver_fragment t damaged))
+      | Link.Deliver delays ->
+          if List.length delays > 1 then
+            t.stats <-
+              { t.stats with fragments_duplicated = t.stats.fragments_duplicated + 1 };
+          List.iter
+            (fun delay ->
+              ignore
+                (Engine.schedule_after t.engine ~delay:(delay + extra) (fun () ->
+                     deliver_fragment t frag)))
+            delays
+    in
+    List.iter transmit_one fragments
+  end
+
+let stats t = t.stats
+let reset_stats t = t.stats <- empty_stats

@@ -1,0 +1,93 @@
+type fragment = {
+  src : int;
+  dst : int;
+  msg_id : int;
+  index : int;
+  count : int;
+  payload : string;
+  crc : int32;
+}
+
+let header_overhead = 24
+let wire_size f = header_overhead + String.length f.payload
+
+let fragment ~src ~dst ~msg_id ~mtu body =
+  if mtu <= 0 then invalid_arg "Packet.fragment: mtu must be positive";
+  let len = String.length body in
+  let count = if len = 0 then 1 else (len + mtu - 1) / mtu in
+  let make index =
+    let pos = index * mtu in
+    let payload = String.sub body pos (Int.min mtu (len - pos)) in
+    { src; dst; msg_id; index; count; payload; crc = Crc32.digest_string payload }
+  in
+  List.init count make
+
+let intact f = Int32.equal f.crc (Crc32.digest_string f.payload)
+
+let corrupt rng f =
+  let len = String.length f.payload in
+  if len = 0 then { f with crc = Int32.lognot f.crc }
+  else begin
+    let byte_index = Dcp_rng.Rng.int rng len in
+    let bit = Dcp_rng.Rng.int rng 8 in
+    let b = Bytes.of_string f.payload in
+    let c = Char.code (Bytes.get b byte_index) in
+    Bytes.set b byte_index (Char.chr (c lxor (1 lsl bit)));
+    { f with payload = Bytes.to_string b }
+  end
+
+module Reassembly = struct
+  type partial = {
+    count : int;
+    slots : string option array;
+    mutable filled : int;
+    first_seen : Dcp_sim.Clock.time;
+  }
+
+  type t = { table : (int * int, partial) Hashtbl.t }
+
+  let create () = { table = Hashtbl.create 64 }
+
+  let offer t ~now f =
+    let key = (f.src, f.msg_id) in
+    let partial =
+      match Hashtbl.find_opt t.table key with
+      | Some p -> p
+      | None ->
+          let p = { count = f.count; slots = Array.make f.count None; filled = 0; first_seen = now } in
+          Hashtbl.add t.table key p;
+          p
+    in
+    if f.index < 0 || f.index >= partial.count then None
+    else begin
+      (match partial.slots.(f.index) with
+      | Some _ -> ()
+      | None ->
+          partial.slots.(f.index) <- Some f.payload;
+          partial.filled <- partial.filled + 1);
+      if partial.filled = partial.count then begin
+        Hashtbl.remove t.table key;
+        let pieces =
+          Array.to_list
+            (Array.map
+               (function
+                 | Some payload -> payload
+                 | None -> assert false)
+               partial.slots)
+        in
+        Some (f.src, String.concat "" pieces)
+      end
+      else None
+    end
+
+  let pending t = Hashtbl.length t.table
+
+  let drop_older_than t ~before =
+    let stale =
+      Hashtbl.fold
+        (fun key p acc -> if Dcp_sim.Clock.compare p.first_seen before < 0 then key :: acc else acc)
+        t.table []
+    in
+    List.iter (Hashtbl.remove t.table) stale;
+    List.length stale
+end

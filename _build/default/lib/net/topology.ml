@@ -1,0 +1,44 @@
+type node_id = int
+
+type t = {
+  node_list : node_id list;
+  pick : src:node_id -> dst:node_id -> Link.t;
+  clusters : (node_id * int) list;  (** node -> cluster index, when meaningful *)
+}
+
+let nodes t = t.node_list
+let size t = List.length t.node_list
+let mem t id = List.mem id t.node_list
+
+let link t ~src ~dst =
+  if not (mem t src) then invalid_arg "Topology.link: unknown source node";
+  if not (mem t dst) then invalid_arg "Topology.link: unknown destination node";
+  if src = dst then Link.perfect else t.pick ~src ~dst
+
+let full_mesh ~n link =
+  if n <= 0 then invalid_arg "Topology.full_mesh: n must be positive";
+  { node_list = List.init n Fun.id; pick = (fun ~src:_ ~dst:_ -> link); clusters = [] }
+
+let clusters ~sizes ~local ~long_haul =
+  if sizes = [] || List.exists (fun s -> s <= 0) sizes then
+    invalid_arg "Topology.clusters: sizes must be positive";
+  let assignment =
+    List.concat (List.mapi (fun cluster size -> List.init size (fun _ -> cluster)) sizes)
+  in
+  let tagged = List.mapi (fun node cluster -> (node, cluster)) assignment in
+  let gateway_path = Link.compose local (Link.compose long_haul local) in
+  let pick ~src ~dst =
+    let c1 = List.assoc src tagged and c2 = List.assoc dst tagged in
+    if c1 = c2 then local else gateway_path
+  in
+  { node_list = List.map fst tagged; pick; clusters = tagged }
+
+let star ~n ~hub ~spoke =
+  if n <= 0 then invalid_arg "Topology.star: n must be positive";
+  if hub < 0 || hub >= n then invalid_arg "Topology.star: hub out of range";
+  let two_hop = Link.compose spoke spoke in
+  let pick ~src ~dst = if src = hub || dst = hub then spoke else two_hop in
+  { node_list = List.init n Fun.id; pick; clusters = [] }
+
+let custom ~nodes pick = { node_list = nodes; pick; clusters = [] }
+let cluster_of t id = List.assoc_opt id t.clusters

@@ -1,0 +1,1 @@
+lib/office/directory.mli: Dcp_core Dcp_wire Port_name Vtype

@@ -1,0 +1,1 @@
+lib/office/document.ml: Dcp_wire List String Transmit Value Vtype

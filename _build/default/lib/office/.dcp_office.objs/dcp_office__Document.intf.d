@@ -1,0 +1,1 @@
+lib/office/document.mli: Dcp_wire Transmit Value Vtype

@@ -1,0 +1,1 @@
+lib/office/mailbox.ml: Codec Dcp_core Dcp_primitives Dcp_stable Dcp_wire Document Hashtbl List Port_name Printf String Value Vtype

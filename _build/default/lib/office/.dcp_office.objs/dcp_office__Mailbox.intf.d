@@ -1,0 +1,1 @@
+lib/office/mailbox.mli: Dcp_core Dcp_wire Port_name Vtype

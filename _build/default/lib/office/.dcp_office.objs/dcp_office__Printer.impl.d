@@ -1,0 +1,1 @@
+lib/office/printer.ml: Dcp_core Dcp_primitives Dcp_sim Dcp_wire Document Int List Option Port_name Queue Value Vtype

@@ -1,0 +1,77 @@
+open Dcp_wire
+module Runtime = Dcp_core.Runtime
+module Message = Dcp_core.Message
+module Store = Dcp_stable.Store
+module Rpc = Dcp_primitives.Rpc
+module Clock = Dcp_sim.Clock
+
+let def_name = "office_directory"
+
+let port_type =
+  [
+    Rpc.request_signature "register" [ Vtype.Tstr; Vtype.Tport ]
+      ~replies:[ Vtype.reply "registered" [] ];
+    Rpc.request_signature "lookup" [ Vtype.Tstr ]
+      ~replies:[ Vtype.reply "mailbox" [ Vtype.Tport ]; Vtype.reply "unknown_user" [] ];
+    Rpc.request_signature "users" []
+      ~replies:[ Vtype.reply "users" [ Vtype.Tlist Vtype.Tstr ] ];
+  ]
+
+let user_key user = "u:" ^ user
+
+let serve ctx =
+  let store = Runtime.store ctx in
+  let request_port = Runtime.port ctx 0 in
+  let rec loop () =
+    (match Runtime.receive ctx [ request_port ] with
+    | `Timeout -> ()
+    | `Msg (_, msg) ->
+        Rpc.serve_always ctx msg ~f:(fun command args ->
+            match (command, args) with
+            | "register", [ Value.Str user; Value.Portv port ] ->
+                Store.set store ~key:(user_key user) (Codec.encode_exn (Value.port port));
+                ("registered", [])
+            | "lookup", [ Value.Str user ] -> (
+                match Store.get store ~key:(user_key user) with
+                | Some encoded -> ("mailbox", [ Codec.decode_exn encoded ])
+                | None -> ("unknown_user", []))
+            | "users", [] ->
+                let users =
+                  Store.fold store ~init:[] ~f:(fun ~key _ acc ->
+                      match String.split_on_char ':' key with
+                      | "u" :: rest -> String.concat ":" rest :: acc
+                      | _ -> acc)
+                in
+                ("users", [ Value.list (List.map Value.str (List.sort String.compare users)) ])
+            | _ -> ("failure", [ Value.str "unknown directory request" ])));
+    loop ()
+  in
+  loop ()
+
+let def : Runtime.def =
+  {
+    Runtime.def_name;
+    provides = [ (port_type, 128) ];
+    init = (fun ctx _args -> serve ctx);
+    recover = Some serve;
+  }
+
+let create world ~at () =
+  if Runtime.find_def world def_name = None then Runtime.register_def world def;
+  let g = Runtime.create_guardian world ~at ~def_name ~args:[] in
+  List.hd (Runtime.guardian_ports g)
+
+let register_user ctx ~directory ~user ~port =
+  match
+    Rpc.call ctx ~to_:directory ~timeout:(Clock.ms 500) ~attempts:3 "register"
+      [ Value.str user; Value.port port ]
+  with
+  | Rpc.Reply ("registered", _) -> true
+  | Rpc.Reply _ | Rpc.Failure_msg _ | Rpc.Timeout -> false
+
+let lookup ctx ~directory ~user =
+  match
+    Rpc.call ctx ~to_:directory ~timeout:(Clock.ms 500) ~attempts:3 "lookup" [ Value.str user ]
+  with
+  | Rpc.Reply ("mailbox", [ Value.Portv port ]) -> Some port
+  | Rpc.Reply _ | Rpc.Failure_msg _ | Rpc.Timeout -> None

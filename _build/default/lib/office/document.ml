@@ -1,0 +1,109 @@
+open Dcp_wire
+
+type meta = { title : string; author : string; revision : int }
+
+type t = Flat of meta * string | Lines of meta * string list
+
+let meta = function Flat (m, _) | Lines (m, _) -> m
+
+let create ~title ~author ~body = Flat ({ title; author; revision = 1 }, body)
+let create_lines ~title ~author ~lines = Lines ({ title; author; revision = 1 }, lines)
+
+let title t = (meta t).title
+let author t = (meta t).author
+let revision t = (meta t).revision
+
+let body = function
+  | Flat (_, body) -> body
+  | Lines (_, lines) -> String.concat "\n" lines
+
+let lines = function
+  | Lines (_, lines) -> lines
+  | Flat (_, body) -> if String.equal body "" then [] else String.split_on_char '\n' body
+
+let word_count t =
+  body t
+  |> String.split_on_char ' '
+  |> List.concat_map (String.split_on_char '\n')
+  |> List.filter (fun w -> not (String.equal w ""))
+  |> List.length
+
+let append t paragraph =
+  match t with
+  | Flat (m, body) ->
+      let body = if String.equal body "" then paragraph else body ^ "\n" ^ paragraph in
+      Flat ({ m with revision = m.revision + 1 }, body)
+  | Lines (m, lines) -> Lines ({ m with revision = m.revision + 1 }, lines @ [ paragraph ])
+
+let equal a b =
+  let ma = meta a and mb = meta b in
+  String.equal ma.title mb.title
+  && String.equal ma.author mb.author
+  && ma.revision = mb.revision
+  && String.equal (body a) (body b)
+
+let is_flat = function Flat _ -> true | Lines _ -> false
+
+let type_name = "document"
+
+let external_rep =
+  Vtype.Trecord
+    [ ("title", Vtype.Tstr); ("author", Vtype.Tstr); ("revision", Vtype.Tint); ("body", Vtype.Tstr) ]
+
+let encode_common t =
+  let m = meta t in
+  Value.record
+    [
+      ("title", Value.str m.title);
+      ("author", Value.str m.author);
+      ("revision", Value.int m.revision);
+      ("body", Value.str (body t));
+    ]
+
+let decode_meta v =
+  match
+    ( Value.field v "title",
+      Value.field v "author",
+      Value.field v "revision",
+      Value.field v "body" )
+  with
+  | Value.Str title, Value.Str author, Value.Int revision, Value.Str body ->
+      ({ title; author; revision }, body)
+  | _ -> raise (Transmit.Decode_failure "document: malformed external rep")
+  | exception Value.Type_mismatch reason -> raise (Transmit.Decode_failure reason)
+
+let transmit_flat : t Transmit.impl =
+  (module struct
+    type nonrec t = t
+
+    let type_name = type_name
+    let external_rep = external_rep
+    let encode = encode_common
+
+    let decode v =
+      let m, body = decode_meta v in
+      Flat (m, body)
+  end)
+
+let transmit_lines : t Transmit.impl =
+  (module struct
+    type nonrec t = t
+
+    let type_name = type_name
+    let external_rep = external_rep
+    let encode = encode_common
+
+    let decode v =
+      let m, body = decode_meta v in
+      Lines (m, if String.equal body "" then [] else String.split_on_char '\n' body)
+  end)
+
+let register registry = Transmit.register registry ~type_name ~external_rep
+
+let to_value t =
+  match t with
+  | Flat _ -> Transmit.to_value transmit_flat t
+  | Lines _ -> Transmit.to_value transmit_lines t
+
+let of_value_flat v = Transmit.of_value transmit_flat v
+let of_value_lines v = Transmit.of_value transmit_lines v

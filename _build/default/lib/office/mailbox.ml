@@ -1,0 +1,161 @@
+open Dcp_wire
+module Runtime = Dcp_core.Runtime
+module Message = Dcp_core.Message
+module Port = Dcp_core.Port
+module Store = Dcp_stable.Store
+module Rpc = Dcp_primitives.Rpc
+
+let def_name = "mailbox"
+
+let delivery_port_type =
+  [
+    Rpc.request_signature "deliver"
+      [ Vtype.Tnamed Document.type_name ]
+      ~replies:[ Vtype.reply "delivered" []; Vtype.reply "mailbox_full" [] ];
+  ]
+
+let owner_port_type =
+  [
+    Rpc.request_signature "list_mail" []
+      ~replies:[ Vtype.reply "headers" [ Vtype.Tlist (Vtype.Ttuple [ Vtype.Tint; Vtype.Tstr; Vtype.Tstr ]) ] ];
+    Rpc.request_signature "fetch" [ Vtype.Tint ]
+      ~replies:
+        [ Vtype.reply "mail" [ Vtype.Tnamed Document.type_name ]; Vtype.reply "no_such_mail" [] ];
+    Rpc.request_signature "discard" [ Vtype.Tint ]
+      ~replies:[ Vtype.reply "discarded" []; Vtype.reply "no_such_mail" [] ];
+  ]
+
+type state = {
+  owner : string;
+  capacity : int;
+  mail : (int, Value.t) Hashtbl.t;  (** slot -> encoded document value *)
+  mutable next_slot : int;
+}
+
+let slot_key n = Printf.sprintf "m:%d" n
+let meta_key = "_mailbox"
+
+let persist_meta ctx state =
+  Store.set (Runtime.store ctx) ~key:meta_key
+    (Codec.encode_exn
+       (Value.tuple [ Value.str state.owner; Value.int state.capacity; Value.int state.next_slot ]))
+
+let deliver ctx state doc_value =
+  if Hashtbl.length state.mail >= state.capacity then ("mailbox_full", [])
+  else begin
+    let slot = state.next_slot in
+    state.next_slot <- slot + 1;
+    Store.set (Runtime.store ctx) ~key:(slot_key slot) (Codec.encode_exn doc_value);
+    persist_meta ctx state;
+    Hashtbl.replace state.mail slot doc_value;
+    ("delivered", [])
+  end
+
+let headers state =
+  Hashtbl.fold
+    (fun slot doc_value acc ->
+      (* read title/author out of the external rep without decoding into a
+         local representation — the mailbox never manipulates documents *)
+      match doc_value with
+      | Value.Named (_, rep) ->
+          (slot, Value.get_str (Value.field rep "title"), Value.get_str (Value.field rep "author"))
+          :: acc
+      | _ -> acc)
+    state.mail []
+  |> List.sort compare
+
+let handle_delivery ctx state msg =
+  Rpc.serve_always ctx msg ~f:(fun command args ->
+      match (command, args) with
+      | "deliver", [ doc_value ] -> deliver ctx state doc_value
+      | _ -> ("failure", [ Value.str "unknown delivery request" ]))
+
+let handle_owner ctx state msg =
+  Rpc.serve_always ctx msg ~f:(fun command args ->
+      match (command, args) with
+      | "list_mail", [] ->
+          ( "headers",
+            [
+              Value.list
+                (List.map
+                   (fun (slot, title, author) ->
+                     Value.tuple [ Value.int slot; Value.str title; Value.str author ])
+                   (headers state));
+            ] )
+      | "fetch", [ Value.Int slot ] -> (
+          match Hashtbl.find_opt state.mail slot with
+          | Some doc_value -> ("mail", [ doc_value ])
+          | None -> ("no_such_mail", []))
+      | "discard", [ Value.Int slot ] ->
+          if Hashtbl.mem state.mail slot then begin
+            Hashtbl.remove state.mail slot;
+            Store.remove (Runtime.store ctx) ~key:(slot_key slot);
+            ("discarded", [])
+          end
+          else ("no_such_mail", [])
+      | _ -> ("failure", [ Value.str "unknown owner request" ]))
+
+let serve ctx state =
+  let delivery = Runtime.port ctx 0 in
+  let owner = Runtime.port ctx 1 in
+  let rec loop () =
+    (match Runtime.receive ctx [ owner; delivery ] with
+    | `Timeout -> ()
+    | `Msg (p, msg) ->
+        if Port_name.equal (Port.name p) (Port.name owner) then handle_owner ctx state msg
+        else handle_delivery ctx state msg);
+    loop ()
+  in
+  loop ()
+
+let rebuild ctx =
+  let store = Runtime.store ctx in
+  match Store.get store ~key:meta_key with
+  | None -> None
+  | Some encoded ->
+      let owner, capacity, next_slot =
+        match Codec.decode_exn encoded with
+        | Value.Tuple [ Value.Str owner; Value.Int capacity; Value.Int next_slot ] ->
+            (owner, capacity, next_slot)
+        | _ -> invalid_arg "mailbox: corrupt meta record"
+      in
+      let state = { owner; capacity; mail = Hashtbl.create 32; next_slot } in
+      Store.fold store ~init:() ~f:(fun ~key value () ->
+          match String.split_on_char ':' key with
+          | [ "m"; slot ] ->
+              Hashtbl.replace state.mail (int_of_string slot) (Codec.decode_exn value)
+          | _ -> ());
+      Some state
+
+let def : Runtime.def =
+  {
+    Runtime.def_name;
+    provides = [ (delivery_port_type, 128); (owner_port_type, 32) ];
+    init =
+      (fun ctx args ->
+        let state =
+          match args with
+          | [ Value.Str owner; Value.Int capacity ] ->
+              { owner; capacity; mail = Hashtbl.create 32; next_slot = 0 }
+          | _ -> invalid_arg "mailbox: bad creation arguments"
+        in
+        persist_meta ctx state;
+        serve ctx state);
+    recover =
+      Some
+        (fun ctx ->
+          match rebuild ctx with
+          | None -> Runtime.self_destruct ctx
+          | Some state -> serve ctx state);
+  }
+
+let create world ~at ~owner ?(capacity = 100) () =
+  Document.register (Runtime.registry world);
+  if Runtime.find_def world def_name = None then Runtime.register_def world def;
+  let g =
+    Runtime.create_guardian world ~at ~def_name
+      ~args:[ Value.str owner; Value.int capacity ]
+  in
+  match Runtime.guardian_ports g with
+  | [ delivery; owner_port ] -> (delivery, owner_port)
+  | _ -> invalid_arg "mailbox: unexpected port layout"

@@ -1,0 +1,131 @@
+open Dcp_wire
+module Runtime = Dcp_core.Runtime
+module Message = Dcp_core.Message
+module Sync = Dcp_core.Sync
+module Rpc = Dcp_primitives.Rpc
+module Clock = Dcp_sim.Clock
+
+let def_name = "printer"
+
+let port_type =
+  [
+    Rpc.request_signature "print"
+      [ Vtype.Tnamed Document.type_name; Vtype.Toption Vtype.Tport ]
+      ~replies:
+        [ Vtype.reply "queued" [ Vtype.Tint ]; Vtype.reply "rejected" [ Vtype.Tstr ] ];
+    Rpc.request_signature "status" []
+      ~replies:
+        [
+          Vtype.reply "status" [ Vtype.Tstr; Vtype.Tint; Vtype.Tint ];
+        ];
+  ]
+
+type job = { document : Document.t; notify : Port_name.t option }
+
+type state = {
+  line_time : Clock.time;
+  queue_limit : int;
+  jobs : job Queue.t;
+  mutable current : string option;  (** title being printed *)
+  mutable pages_printed : int;
+}
+
+(* The device process: waits for work, prints one job at a time.  The
+   intake process signals it through a condition variable — the guardian's
+   processes "communicate with one another via shared objects" (§2.1). *)
+let device_process ctx state mutex work_ready =
+  let rec loop () =
+    Sync.lock mutex;
+    while Queue.is_empty state.jobs do
+      Sync.wait work_ready mutex
+    done;
+    let job = Queue.pop state.jobs in
+    state.current <- Some (Document.title job.document);
+    Sync.unlock mutex;
+    let lines = List.length (Document.lines job.document) in
+    Runtime.sleep ctx (Int.max 1 lines * state.line_time);
+    state.pages_printed <- state.pages_printed + 1;
+    state.current <- None;
+    (match job.notify with
+    | Some notify ->
+        Runtime.send ctx ~to_:notify "printed" [ Value.str (Document.title job.document) ]
+    | None -> ());
+    loop ()
+  in
+  loop ()
+
+let serve ctx state =
+  let mutex = Runtime.sync_mutex ctx in
+  let work_ready = Runtime.sync_condition ctx in
+  ignore (Runtime.spawn ctx ~name:"printer.device" (fun () -> device_process ctx state mutex work_ready));
+  let request_port = Runtime.port ctx 0 in
+  let rec loop () =
+    (match Runtime.receive ctx [ request_port ] with
+    | `Timeout -> ()
+    | `Msg (_, msg) -> (
+        match (msg.Message.command, msg.Message.args) with
+        | "print", [ Value.Int id; doc_value; Value.Option notify ] -> (
+            let notify = Option.map Value.get_port notify in
+            match Document.of_value_lines doc_value with
+            | exception Dcp_wire.Transmit.Decode_failure reason ->
+                (match msg.Message.reply_to with
+                | Some reply ->
+                    Runtime.send ctx ~to_:reply "rejected" [ Value.int id; Value.str reason ]
+                | None -> ())
+            | document ->
+                if Queue.length state.jobs >= state.queue_limit then (
+                  match msg.Message.reply_to with
+                  | Some reply ->
+                      Runtime.send ctx ~to_:reply "rejected"
+                        [ Value.int id; Value.str "printer queue full" ]
+                  | None -> ())
+                else begin
+                  Sync.with_lock mutex (fun () ->
+                      Queue.add { document; notify } state.jobs;
+                      Sync.signal work_ready);
+                  match msg.Message.reply_to with
+                  | Some reply ->
+                      Runtime.send ctx ~to_:reply "queued"
+                        [ Value.int id; Value.int (Queue.length state.jobs) ]
+                  | None -> ()
+                end)
+        | "status", [ Value.Int id ] ->
+            Rpc.serve_always ctx msg ~f:(fun _ _ ->
+                ignore id;
+                ( "status",
+                  [
+                    Value.str (Option.value state.current ~default:"idle");
+                    Value.int (Queue.length state.jobs);
+                    Value.int state.pages_printed;
+                  ] ))
+        | _ -> ()));
+    loop ()
+  in
+  loop ()
+
+let def : Runtime.def =
+  {
+    Runtime.def_name;
+    provides = [ (port_type, 64) ];
+    init =
+      (fun ctx args ->
+        let state =
+          match args with
+          | [ Value.Int line_time; Value.Int queue_limit ] ->
+              { line_time; queue_limit; jobs = Queue.create (); current = None; pages_printed = 0 }
+          | _ -> invalid_arg "printer: bad creation arguments"
+        in
+        serve ctx state);
+    (* A printer holds no durable state worth recovering: its queue dies
+       with the node, like paper jams eat print jobs. *)
+    recover = None;
+  }
+
+let create world ~at ?(line_time = Clock.ms 10) ?(queue_limit = 16) () =
+  Document.register (Runtime.registry world);
+  if Runtime.find_def world def_name = None then Runtime.register_def world def;
+  let g =
+    Runtime.create_guardian world ~at ~def_name
+      ~args:[ Value.int line_time; Value.int queue_limit ]
+  in
+  List.hd (Runtime.guardian_ports g)

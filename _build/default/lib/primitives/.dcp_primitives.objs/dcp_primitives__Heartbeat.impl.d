@@ -1,0 +1,1 @@
+lib/primitives/heartbeat.ml: Dcp_core Dcp_sim Dcp_wire Rpc Value

@@ -1,0 +1,1 @@
+lib/primitives/ordered.ml: Dcp_core Dcp_sim Dcp_wire Hashtbl Int Option Port_name Printf Value Vtype

@@ -1,0 +1,1 @@
+lib/primitives/patterns.ml: Dcp_core Dcp_sim Dcp_wire List Vtype

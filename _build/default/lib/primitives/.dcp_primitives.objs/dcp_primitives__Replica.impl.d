@@ -1,0 +1,1 @@
+lib/primitives/replica.ml: Dcp_core Dcp_sim Dcp_wire Hashtbl Int List Option Port_name Rpc Value Vtype

@@ -1,0 +1,1 @@
+lib/primitives/rpc.mli: Dcp_core Dcp_sim Dcp_wire Port_name Value Vtype

@@ -1,0 +1,1 @@
+lib/primitives/sync_send.ml: Dcp_core Dcp_sim Dcp_wire Value Vtype

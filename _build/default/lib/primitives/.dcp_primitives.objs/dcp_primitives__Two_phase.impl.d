@@ -1,0 +1,1 @@
+lib/primitives/two_phase.ml: Codec Dcp_core Dcp_sim Dcp_stable Dcp_wire Hashtbl List Printf Rpc String Value Vtype

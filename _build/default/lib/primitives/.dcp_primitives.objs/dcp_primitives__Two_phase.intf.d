@@ -1,0 +1,1 @@
+lib/primitives/two_phase.mli: Dcp_core Dcp_sim Dcp_stable Dcp_wire Port_name Value Vtype

@@ -1,0 +1,210 @@
+open Dcp_wire
+module Runtime = Dcp_core.Runtime
+module Message = Dcp_core.Message
+module Clock = Dcp_sim.Clock
+
+let def_name = "replica"
+
+let stamp_type = Vtype.Ttuple [ Vtype.Tint; Vtype.Tint ]
+
+let port_type =
+  [
+    Rpc.request_signature "write" [ Vtype.Tstr; Vtype.Tany ]
+      ~replies:[ Vtype.reply "written" [ stamp_type ] ];
+    Rpc.request_signature "read" [ Vtype.Tstr ]
+      ~replies:[ Vtype.reply "value" [ Vtype.Tany; stamp_type ]; Vtype.reply "unknown_key" [] ];
+    Rpc.request_signature "join" [ Vtype.Tlist Vtype.Tport ]
+      ~replies:[ Vtype.reply "joined" [] ];
+    Vtype.signature "gossip" [ Vtype.Tstr; Vtype.Tany; stamp_type ];
+    Vtype.signature "sync_digest" [ Vtype.Tlist (Vtype.Ttuple [ Vtype.Tstr; stamp_type ]) ];
+  ]
+
+(* A stamp orders writes totally: Lamport counter first, origin id as the
+   tiebreak. *)
+type stamp = int * int
+
+type state = {
+  replica_id : int;
+  sync_every : Clock.time;
+  table : (string, Value.t * stamp) Hashtbl.t;
+  mutable clock : int;
+  mutable peers : Port_name.t list;
+}
+
+let stamp_value (counter, origin) = Value.tuple [ Value.int counter; Value.int origin ]
+
+let stamp_of_value v =
+  match v with
+  | Value.Tuple [ Value.Int counter; Value.Int origin ] -> (counter, origin)
+  | _ -> invalid_arg "replica: malformed stamp"
+
+let observe_stamp state (counter, _) = state.clock <- Int.max state.clock counter
+
+(* Apply a stamped write; true if it won (newer than what we hold). *)
+let apply state ~key ~value ~stamp =
+  observe_stamp state stamp;
+  match Hashtbl.find_opt state.table key with
+  | Some (_, existing) when existing >= stamp -> false
+  | Some _ | None ->
+      Hashtbl.replace state.table key (value, stamp);
+      true
+
+let broadcast_gossip ctx state ~key ~value ~stamp =
+  List.iter
+    (fun peer ->
+      Runtime.send ctx ~to_:peer "gossip" [ Value.str key; value; stamp_value stamp ])
+    state.peers
+
+(* Anti-entropy: tell every peer what we hold; a peer answers (via plain
+   gossip) with anything it has newer, and applies anything we had newer —
+   here simplified to a push of our whole digest, with peers pulling by
+   re-gossiping winners.  For the modest registers this guards, shipping
+   values with the digest keeps it one round. *)
+let send_sync ctx state =
+  let digest =
+    Hashtbl.fold (fun key (_, stamp) acc -> Value.tuple [ Value.str key; stamp_value stamp ] :: acc)
+      state.table []
+  in
+  (* reply_to carries our own request port so peers can gossip back what we
+     are missing *)
+  let own = Dcp_core.Port.name (Runtime.port ctx 0) in
+  List.iter
+    (fun peer ->
+      Runtime.send ctx ~to_:peer ~reply_to:own "sync_digest" [ Value.list digest ])
+    state.peers
+
+let handle_sync_digest ctx state ~reply_gossip_to digest =
+  (* For every key where we hold something newer than the digest claims —
+     or that the digest lacks — gossip our version back to the sender. *)
+  let claimed = Hashtbl.create 16 in
+  List.iter
+    (fun entry ->
+      match entry with
+      | Value.Tuple [ Value.Str key; stamp ] -> Hashtbl.replace claimed key (stamp_of_value stamp)
+      | _ -> ())
+    digest;
+  Hashtbl.iter
+    (fun key (value, stamp) ->
+      let theirs = Hashtbl.find_opt claimed key in
+      if theirs = None || Option.get theirs < stamp then
+        Runtime.send ctx ~to_:reply_gossip_to "gossip"
+          [ Value.str key; value; stamp_value stamp ])
+    state.table
+
+let serve ctx state =
+  let request_port = Runtime.port ctx 0 in
+  (* periodic anti-entropy *)
+  ignore
+    (Runtime.spawn ctx ~name:"replica.sync" (fun () ->
+         let rec tick () =
+           Runtime.sleep ctx state.sync_every;
+           if state.peers <> [] then send_sync ctx state;
+           tick ()
+         in
+         tick ()));
+  let rec loop () =
+    (match Runtime.receive ctx [ request_port ] with
+    | `Timeout -> ()
+    | `Msg (_, msg) -> (
+        match (msg.Message.command, msg.Message.args) with
+        | "write", [ Value.Int id; Value.Str key; value ] ->
+            state.clock <- state.clock + 1;
+            let stamp = (state.clock, state.replica_id) in
+            ignore (apply state ~key ~value ~stamp);
+            broadcast_gossip ctx state ~key ~value ~stamp;
+            (match msg.Message.reply_to with
+            | Some reply ->
+                Runtime.send ctx ~to_:reply "written" [ Value.int id; stamp_value stamp ]
+            | None -> ())
+        | "read", [ Value.Int id; Value.Str key ] -> (
+            match (Hashtbl.find_opt state.table key, msg.Message.reply_to) with
+            | Some (value, stamp), Some reply ->
+                Runtime.send ctx ~to_:reply "value"
+                  [ Value.int id; value; stamp_value stamp ]
+            | None, Some reply -> Runtime.send ctx ~to_:reply "unknown_key" [ Value.int id ]
+            | _, None -> ())
+        | "join", [ Value.Int id; Value.Listv peers ] ->
+            state.peers <- List.map Value.get_port peers;
+            (match msg.Message.reply_to with
+            | Some reply -> Runtime.send ctx ~to_:reply "joined" [ Value.int id ]
+            | None -> ())
+        | "gossip", [ Value.Str key; value; stamp ] ->
+            ignore (apply state ~key ~value ~stamp:(stamp_of_value stamp))
+        | "sync_digest", [ Value.Listv digest ] -> (
+            match msg.Message.reply_to with
+            | Some reply -> handle_sync_digest ctx state ~reply_gossip_to:reply digest
+            | None ->
+                (* digest without a return path: apply-side only; nothing to
+                   answer *)
+                ())
+        | _ -> ()));
+    loop ()
+  in
+  loop ()
+
+let def : Runtime.def =
+  {
+    Runtime.def_name;
+    provides = [ (port_type, 512) ];
+    init =
+      (fun ctx args ->
+        match args with
+        | [ Value.Int sync_every ] ->
+            serve ctx
+              {
+                replica_id = Runtime.guardian_id (Runtime.ctx_guardian ctx);
+                sync_every;
+                table = Hashtbl.create 32;
+                clock = 0;
+                peers = [];
+              }
+        | _ -> invalid_arg "replica: bad creation arguments");
+    (* Replicas hold soft state: a crashed replica rejoins empty and
+       anti-entropy refills it from its peers. *)
+    recover = None;
+  }
+
+let create_group world ~nodes ?(sync_every = Clock.ms 500) () =
+  if Runtime.find_def world def_name = None then Runtime.register_def world def;
+  let replicas =
+    List.map
+      (fun at ->
+        let g = Runtime.create_guardian world ~at ~def_name ~args:[ Value.int sync_every ] in
+        List.hd (Runtime.guardian_ports g))
+      nodes
+  in
+  (* Introduce everyone to everyone else through a bootstrap guardian. *)
+  let bootstrap : Runtime.def =
+    {
+      Runtime.def_name = "replica_bootstrap";
+      provides = [];
+      init =
+        (fun ctx _ ->
+          List.iter
+            (fun replica ->
+              let peers = List.filter (fun p -> not (Port_name.equal p replica)) replicas in
+              match
+                Rpc.call ctx ~to_:replica ~timeout:(Clock.s 1) ~attempts:5 "join"
+                  [ Value.list (List.map Value.port peers) ]
+              with
+              | Rpc.Reply ("joined", _) -> ()
+              | Rpc.Reply _ | Rpc.Failure_msg _ | Rpc.Timeout -> ())
+            replicas);
+      recover = None;
+    }
+  in
+  if Runtime.find_def world "replica_bootstrap" = None then Runtime.register_def world bootstrap;
+  (match nodes with
+  | at :: _ -> ignore (Runtime.create_guardian world ~at ~def_name:"replica_bootstrap" ~args:[])
+  | [] -> invalid_arg "Replica.create_group: need at least one node");
+  replicas
+
+let write ctx ~replica ~key ~value ~timeout =
+  match Rpc.call ctx ~to_:replica ~timeout ~attempts:3 "write" [ Value.str key; value ] with
+  | Rpc.Reply ("written", _) -> true
+  | Rpc.Reply _ | Rpc.Failure_msg _ | Rpc.Timeout -> false
+
+let read ctx ~replica ~key ~timeout =
+  match Rpc.call ctx ~to_:replica ~timeout ~attempts:3 "read" [ Value.str key ] with
+  | Rpc.Reply ("value", [ value; _ ]) -> Some value
+  | Rpc.Reply _ | Rpc.Failure_msg _ | Rpc.Timeout -> None

@@ -1,0 +1,61 @@
+(** Distributed simultaneous update: replicated registers.
+
+    §3's first example of the protocols the chosen primitive must express
+    is "distributed simultaneous updates" — several nodes accepting writes
+    to the same logical datum concurrently.  This module implements the
+    classic timestamp solution of that literature: every write is stamped
+    with a Lamport clock paired with the origin's id; each replica keeps
+    the value with the lexicographically largest stamp (last-writer-wins),
+    forwards accepted writes to its peers, and runs periodic anti-entropy
+    so replicas that missed an update (lost message, crash) converge.
+
+    Guardian: one replica per node, created with the register's name and
+    its peer ports (supplied after creation via [join], since ports only
+    exist once every replica does).
+
+    Port (RPC convention):
+    {v
+    write(key, value)          replies (written(stamp))
+    read(key)                  replies (value(v, stamp), unknown_key)
+    join(peer_ports)           replies (joined)           -- setup
+    gossip(key, value, stamp)                             -- replica to replica
+    sync_digest(digest)                                   -- anti-entropy
+    v}
+
+    Writes accepted at different replicas during a partition converge to
+    the same winner at every replica once connectivity returns — the
+    chaos test checks exactly that. *)
+
+open Dcp_wire
+
+val def_name : string
+val port_type : Vtype.port_type
+val def : Dcp_core.Runtime.def
+
+val create_group :
+  Dcp_core.Runtime.world ->
+  nodes:Dcp_core.Runtime.node_id list ->
+  ?sync_every:Dcp_sim.Clock.time ->
+  unit ->
+  Port_name.t list
+(** Create one replica guardian at each node and introduce them to each
+    other.  [sync_every] is the anti-entropy period (default 500 ms).
+    Returns the replicas' request ports, in node order. *)
+
+(** {1 Client helpers} *)
+
+val write :
+  Dcp_core.Runtime.ctx ->
+  replica:Port_name.t ->
+  key:string ->
+  value:Value.t ->
+  timeout:Dcp_sim.Clock.time ->
+  bool
+(** Write through one replica; [true] on acknowledgement. *)
+
+val read :
+  Dcp_core.Runtime.ctx ->
+  replica:Port_name.t ->
+  key:string ->
+  timeout:Dcp_sim.Clock.time ->
+  Value.t option

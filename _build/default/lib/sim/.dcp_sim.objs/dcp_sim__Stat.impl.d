@@ -1,0 +1,1 @@
+lib/sim/stat.ml: Array Float Format Int List

@@ -1,0 +1,68 @@
+type timer = {
+  time : Clock.time;
+  seq : int;
+  action : unit -> unit;
+  mutable cancelled : bool;
+}
+
+type t = {
+  mutable clock : Clock.time;
+  mutable seq : int;
+  mutable executed : int;
+  mutable live : int;
+  queue : timer Heap.t;
+}
+
+let compare_timer a b =
+  let c = Clock.compare a.time b.time in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let create () =
+  { clock = Clock.zero; seq = 0; executed = 0; live = 0; queue = Heap.create ~cmp:compare_timer }
+
+let now t = t.clock
+
+let schedule t ~at action =
+  let at = if Clock.compare at t.clock < 0 then t.clock else at in
+  let timer = { time = at; seq = t.seq; action; cancelled = false } in
+  t.seq <- t.seq + 1;
+  t.live <- t.live + 1;
+  Heap.push t.queue timer;
+  timer
+
+let schedule_after t ~delay action = schedule t ~at:(Clock.add t.clock delay) action
+
+let cancel timer = timer.cancelled <- true
+let is_cancelled timer = timer.cancelled
+
+let pending t =
+  (* [live] over-counts cancelled-but-unpopped timers, so walk the heap. *)
+  List.length (List.filter (fun e -> not e.cancelled) (Heap.to_list t.queue))
+
+let rec step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some ev ->
+      if ev.cancelled then step t
+      else begin
+        t.clock <- ev.time;
+        t.executed <- t.executed + 1;
+        ev.action ();
+        true
+      end
+
+let run t = while step t do () done
+
+let run_until t limit =
+  let continue = ref true in
+  while !continue do
+    match Heap.peek t.queue with
+    | None -> continue := false
+    | Some ev ->
+        if Clock.compare ev.time limit > 0 then continue := false
+        else if not (step t) then continue := false
+  done;
+  if Clock.compare t.clock limit < 0 then t.clock <- limit
+
+let run_for t d = run_until t (Clock.add t.clock d)
+let events_executed t = t.executed

@@ -1,0 +1,45 @@
+type event = { at : Clock.time; category : string; detail : string }
+
+type t = {
+  capacity : int;
+  mutable ring : event option array;
+  mutable next : int;
+  mutable total : int;
+}
+
+let create ?(capacity = 65536) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { capacity; ring = Array.make capacity None; next = 0; total = 0 }
+
+let record t ~at ~category detail =
+  t.ring.(t.next) <- Some { at; category; detail };
+  t.next <- (t.next + 1) mod t.capacity;
+  t.total <- t.total + 1
+
+let recordf t ~at ~category fmt = Format.kasprintf (record t ~at ~category) fmt
+
+let size t = Int.min t.total t.capacity
+let total t = t.total
+
+let events t =
+  let n = size t in
+  let start = if t.total <= t.capacity then 0 else t.next in
+  let rec gather i acc =
+    if i >= n then List.rev acc
+    else
+      match t.ring.((start + i) mod t.capacity) with
+      | None -> gather (i + 1) acc
+      | Some e -> gather (i + 1) (e :: acc)
+  in
+  gather 0 []
+
+let find t ~category = List.filter (fun e -> String.equal e.category category) (events t)
+
+let clear t =
+  t.ring <- Array.make t.capacity None;
+  t.next <- 0;
+  t.total <- 0
+
+let pp fmt t =
+  let pp_event e = Format.fprintf fmt "[%a] %-16s %s@." Clock.pp e.at e.category e.detail in
+  List.iter pp_event (events t)

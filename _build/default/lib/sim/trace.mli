@@ -1,0 +1,34 @@
+(** Structured event tracing.
+
+    A bounded ring of timestamped events with a category and free-form
+    description.  Scenarios and tests use traces both for debugging and for
+    asserting on the order of distributed happenings (e.g. "the failure
+    message arrived after the crash"). *)
+
+type t
+
+type event = { at : Clock.time; category : string; detail : string }
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity is 65536 events; older events are overwritten. *)
+
+val record : t -> at:Clock.time -> category:string -> string -> unit
+
+val recordf :
+  t -> at:Clock.time -> category:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+val size : t -> int
+(** Events currently retained. *)
+
+val total : t -> int
+(** Events ever recorded (including overwritten ones). *)
+
+val events : t -> event list
+(** Retained events, oldest first. *)
+
+val find : t -> category:string -> event list
+(** Retained events of one category, oldest first. *)
+
+val clear : t -> unit
+
+val pp : Format.formatter -> t -> unit

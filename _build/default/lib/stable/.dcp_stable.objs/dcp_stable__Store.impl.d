@@ -1,0 +1,1 @@
+lib/stable/store.ml: Hashtbl List Printf String Wal

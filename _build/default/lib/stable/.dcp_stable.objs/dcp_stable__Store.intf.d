@@ -1,0 +1,1 @@
+lib/stable/store.mli: Dcp_rng

@@ -1,0 +1,1 @@
+lib/stable/wal.ml: Dcp_net Dcp_rng Int Int32 List String

@@ -1,0 +1,1 @@
+lib/stable/wal.mli: Dcp_rng

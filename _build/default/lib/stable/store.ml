@@ -1,0 +1,93 @@
+(* Log records are "S<klen>:<key><value>" for set and "R<key>" for remove;
+   the snapshot is a list of such set-records.  All framing is
+   length-prefixed so keys and values may contain any byte. *)
+
+type t = {
+  mutable table : (string, string) Hashtbl.t;
+  mutable snapshot : (string * string) list;
+  wal : Wal.t;
+  mutable crashed : bool;
+}
+
+let create () = { table = Hashtbl.create 64; snapshot = []; wal = Wal.create (); crashed = false }
+
+let encode_set ~key value =
+  Printf.sprintf "S%d:%s%s" (String.length key) key value
+
+let encode_remove ~key = Printf.sprintf "R%d:%s" (String.length key) key
+
+let decode record =
+  let fail () = invalid_arg "Store: malformed log record" in
+  if String.length record < 2 then fail ();
+  let op = record.[0] in
+  match String.index_opt record ':' with
+  | None -> fail ()
+  | Some colon ->
+      let klen = int_of_string (String.sub record 1 (colon - 1)) in
+      let key = String.sub record (colon + 1) klen in
+      let rest_pos = colon + 1 + klen in
+      (match op with
+      | 'S' -> `Set (key, String.sub record rest_pos (String.length record - rest_pos))
+      | 'R' -> `Remove key
+      | _ -> fail ())
+
+let ensure_live t = if t.crashed then invalid_arg "Store: node is crashed; recover first"
+
+let set t ~key value =
+  ensure_live t;
+  ignore (Wal.append t.wal (encode_set ~key value));
+  Hashtbl.replace t.table key value
+
+let remove t ~key =
+  ensure_live t;
+  ignore (Wal.append t.wal (encode_remove ~key));
+  Hashtbl.remove t.table key
+
+let get t ~key =
+  ensure_live t;
+  Hashtbl.find_opt t.table key
+
+let mem t ~key =
+  ensure_live t;
+  Hashtbl.mem t.table key
+
+let size t =
+  ensure_live t;
+  Hashtbl.length t.table
+
+let fold t ~init ~f =
+  ensure_live t;
+  Hashtbl.fold (fun key value acc -> f ~key value acc) t.table init
+
+let checkpoint t =
+  ensure_live t;
+  t.snapshot <- Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.table [];
+  Wal.truncate_prefix t.wal ~upto:(Wal.next_lsn t.wal)
+
+let log_length t = Wal.length t.wal
+
+let crash t ?tear () =
+  (match tear with
+  | None -> ()
+  | Some (rng, p) -> ignore (Wal.tear_tail t.wal rng ~p));
+  t.table <- Hashtbl.create 64;
+  t.crashed <- true
+
+let recover t =
+  if not t.crashed then 0
+  else begin
+    t.crashed <- false;
+    (* Drop the torn tail so future appends extend an intact log. *)
+    ignore (Wal.repair t.wal);
+    t.table <- Hashtbl.create 64;
+    List.iter (fun (k, v) -> Hashtbl.replace t.table k v) t.snapshot;
+    let replayed = ref 0 in
+    Wal.replay t.wal (fun _lsn record ->
+        incr replayed;
+        match decode record with
+        | `Set (key, value) -> Hashtbl.replace t.table key value
+        | `Remove key -> Hashtbl.remove t.table key);
+    !replayed
+  end
+
+let is_crashed t = t.crashed

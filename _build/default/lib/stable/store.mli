@@ -1,0 +1,36 @@
+(** Recoverable key-value store: a WAL plus periodic checkpoints.
+
+    The building block guardians use for per-resource permanence of effect
+    (§2.2).  Mutations are logged before being applied to the in-memory
+    table; {!checkpoint} snapshots the table and truncates the log; after a
+    crash, {!recover} rebuilds the table from the last checkpoint plus the
+    log tail.  Keys and values are strings — higher layers store encoded
+    {!Dcp_wire.Value} externals. *)
+
+type t
+
+val create : unit -> t
+
+val set : t -> key:string -> string -> unit
+val remove : t -> key:string -> unit
+val get : t -> key:string -> string option
+val mem : t -> key:string -> bool
+val size : t -> int
+val fold : t -> init:'a -> f:(key:string -> string -> 'a -> 'a) -> 'a
+
+val checkpoint : t -> unit
+(** Snapshot the current table to stable storage and truncate the log. *)
+
+val log_length : t -> int
+(** Mutations logged since the last checkpoint. *)
+
+val crash : t -> ?tear:(Dcp_rng.Rng.t * float) -> unit -> unit
+(** Simulate the node crash: the volatile table is lost; the snapshot and
+    log survive (with an optional torn tail, see {!Wal.tear_tail}).  The
+    store is unusable until {!recover}. *)
+
+val recover : t -> int
+(** Rebuild the volatile table; returns how many log records were replayed.
+    Recovering a store that was never crashed is a no-op returning 0. *)
+
+val is_crashed : t -> bool

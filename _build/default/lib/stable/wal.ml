@@ -1,0 +1,60 @@
+module Crc32 = Dcp_net.Crc32
+
+type lsn = int
+
+type record = { lsn : lsn; payload : string; crc : int32 }
+
+type t = {
+  mutable entries : record list;  (** newest first *)
+  mutable first : lsn;
+  mutable next : lsn;
+}
+
+let create () = { entries = []; first = 0; next = 0 }
+
+let append t payload =
+  let lsn = t.next in
+  t.next <- lsn + 1;
+  t.entries <- { lsn; payload; crc = Crc32.digest_string payload } :: t.entries;
+  lsn
+
+let intact r = Int32.equal r.crc (Crc32.digest_string r.payload)
+
+let intact_in_order t =
+  let rec take_while_intact acc = function
+    | [] -> acc
+    | r :: rest -> if intact r then take_while_intact (r :: acc) rest else acc
+  in
+  (* entries are newest-first; a damaged record hides everything after it,
+     so scan oldest-first and stop at the first bad CRC. *)
+  List.rev (take_while_intact [] (List.rev t.entries))
+
+let length t = List.length (intact_in_order t)
+let replay t f = List.iter (fun r -> f r.lsn r.payload) (intact_in_order t)
+let records t = List.map (fun r -> r.payload) (intact_in_order t)
+
+let truncate_prefix t ~upto =
+  t.entries <- List.filter (fun r -> r.lsn >= upto) t.entries;
+  t.first <- Int.max t.first upto
+
+let first_lsn t = t.first
+let next_lsn t = t.next
+
+let repair t =
+  let intact = intact_in_order t in
+  let dropped = List.length t.entries - List.length intact in
+  if dropped > 0 then t.entries <- List.rev intact;
+  dropped
+
+let tear_tail t rng ~p =
+  match t.entries with
+  | [] -> false
+  | newest :: rest ->
+      if Dcp_rng.Rng.bernoulli rng p then begin
+        t.entries <- { newest with crc = Int32.lognot newest.crc } :: rest;
+        true
+      end
+      else false
+
+let storage_bytes t =
+  List.fold_left (fun acc r -> acc + String.length r.payload + 12) 0 t.entries

@@ -1,0 +1,51 @@
+(** Write-ahead log on simulated stable storage.
+
+    §2.2: "processes in the guardian save recovery data as needed (by, e.g.,
+    logging it in storage that will survive a node crash), and the guardian
+    provides a recovery process that is started after a node crash to
+    interpret the recovery data."
+
+    A [Wal.t] models that crash-surviving storage.  Records are appended
+    with a sequence number (LSN) and a CRC.  A node crash may tear the
+    record being written at the instant of the crash ({!tear_tail}); replay
+    verifies CRCs and stops at the first damaged record, so a torn tail is
+    indistinguishable from the record never having been written — which is
+    exactly the atomicity a log gives real systems. *)
+
+type t
+
+type lsn = int
+
+val create : unit -> t
+
+val append : t -> string -> lsn
+(** Durably append a record; returns its LSN (0-based, dense). *)
+
+val length : t -> int
+(** Number of intact records. *)
+
+val replay : t -> (lsn -> string -> unit) -> unit
+(** Apply every intact record in LSN order. *)
+
+val records : t -> string list
+
+val truncate_prefix : t -> upto:lsn -> unit
+(** Discard records with LSN < [upto] (checkpointing).  Replay still reports
+    original LSNs. *)
+
+val first_lsn : t -> lsn
+val next_lsn : t -> lsn
+
+val repair : t -> int
+(** Physically truncate the log at the first damaged record (recovery-time
+    repair, as a real implementation would): later appends then extend an
+    intact log instead of sitting unreachable behind the tear.  Returns the
+    number of records dropped. *)
+
+val tear_tail : t -> Dcp_rng.Rng.t -> p:float -> bool
+(** Crash-time damage model: with probability [p], corrupt the final record
+    (as if the crash interrupted its write).  Returns whether a tear
+    happened.  Replay will then stop before the damaged record. *)
+
+val storage_bytes : t -> int
+(** Total payload bytes held, for accounting. *)

@@ -1,0 +1,1 @@
+lib/wire/codec.ml: Buffer Char Format Int64 List Port_name Printf Result String Token Value

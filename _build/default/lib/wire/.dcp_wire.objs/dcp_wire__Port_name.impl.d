@@ -1,0 +1,1 @@
+lib/wire/port_name.ml: Format Hashtbl Int

@@ -1,0 +1,1 @@
+lib/wire/port_name.mli: Format

@@ -1,0 +1,1 @@
+lib/wire/token.ml: Format Int64

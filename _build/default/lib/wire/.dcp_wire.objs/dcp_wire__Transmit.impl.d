@@ -1,0 +1,1 @@
+lib/wire/transmit.ml: Hashtbl List Printf String Value Vtype

@@ -1,0 +1,1 @@
+lib/wire/transmit.mli: Value Vtype

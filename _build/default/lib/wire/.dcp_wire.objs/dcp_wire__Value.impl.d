@@ -1,0 +1,1 @@
+lib/wire/value.ml: Bool Float Format Int List Option Port_name Stdlib String Token

@@ -1,0 +1,1 @@
+lib/wire/vtype.ml: Format List Result Stdlib String Value

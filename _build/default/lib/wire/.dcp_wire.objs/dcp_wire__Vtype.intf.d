@@ -1,0 +1,1 @@
+lib/wire/vtype.mli: Format Value

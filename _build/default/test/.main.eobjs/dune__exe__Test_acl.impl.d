@@ -1,0 +1,1 @@
+test/test_acl.ml: Alcotest Dcp_airline Dcp_core Dcp_net Dcp_primitives Dcp_sim Dcp_wire List Port_name Printf QCheck2 QCheck_alcotest Value

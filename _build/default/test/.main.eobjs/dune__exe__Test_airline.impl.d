@@ -1,0 +1,1 @@
+test/test_airline.ml: Alcotest Dcp_airline Dcp_core Dcp_net Dcp_primitives Dcp_sim Dcp_wire List Option Printf String Value Vtype

@@ -1,0 +1,1 @@
+test/test_assoc.ml: Alcotest Codec Dcp_assoc Dcp_wire Float Hashtbl List Option QCheck2 QCheck_alcotest Result Transmit Value

@@ -1,0 +1,1 @@
+test/test_bank.ml: Alcotest Dcp_bank Dcp_core Dcp_net Dcp_primitives Dcp_sim Dcp_wire List Printf Value Vtype

@@ -1,0 +1,1 @@
+test/test_chaos.ml: Alcotest Dcp_airline Dcp_bank Dcp_core Dcp_net Dcp_primitives Dcp_rng Dcp_sim Dcp_stable Dcp_wire Hashtbl List Option Printf String Value

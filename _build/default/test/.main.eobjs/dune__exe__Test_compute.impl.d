@@ -1,0 +1,1 @@
+test/test_compute.ml: Alcotest Dcp_core Dcp_net Dcp_sim List Printf

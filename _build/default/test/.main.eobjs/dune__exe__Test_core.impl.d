@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Dcp_core Dcp_sim Dcp_wire Int List Option Port_name Vtype

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Bytes Char Codec Dcp_airline Dcp_core Dcp_net Dcp_rng Dcp_sim Dcp_wire Format List Option Port_name Printexc Printf String Value Vtype

@@ -1,0 +1,1 @@
+test/test_heartbeat.ml: Alcotest Dcp_core Dcp_net Dcp_primitives Dcp_sim Dcp_wire List Printf String Vtype

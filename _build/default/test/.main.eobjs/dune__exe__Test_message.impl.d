@@ -1,0 +1,1 @@
+test/test_message.ml: Alcotest Codec Dcp_core Dcp_wire Format List Port_name QCheck2 QCheck_alcotest String Value

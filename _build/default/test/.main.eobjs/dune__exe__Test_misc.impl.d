@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Codec Dcp_net Dcp_sim Dcp_wire Format List Port_name Result String Token Value Vtype

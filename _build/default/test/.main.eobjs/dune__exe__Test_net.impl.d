@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Bytes Char Dcp_net Dcp_rng Dcp_sim Float Int32 List QCheck2 QCheck_alcotest String

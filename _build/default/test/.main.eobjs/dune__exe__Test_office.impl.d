@@ -1,0 +1,1 @@
+test/test_office.ml: Alcotest Codec Dcp_core Dcp_net Dcp_office Dcp_primitives Dcp_sim Dcp_wire List Port_name Printf QCheck2 QCheck_alcotest String Value Vtype

@@ -1,0 +1,1 @@
+test/test_ordered.ml: Alcotest Dcp_core Dcp_net Dcp_primitives Dcp_sim Dcp_wire Fun List Port_name Printf QCheck2 QCheck_alcotest Value

@@ -1,0 +1,1 @@
+test/test_primitives.ml: Alcotest Dcp_core Dcp_net Dcp_primitives Dcp_sim Dcp_wire Hashtbl List Port_name Printf Value Vtype

@@ -1,0 +1,1 @@
+test/test_replica.ml: Alcotest Array Dcp_core Dcp_net Dcp_primitives Dcp_sim Dcp_wire List Option Printf String Value

@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Dcp_rng Float Fun Int List QCheck2 QCheck_alcotest

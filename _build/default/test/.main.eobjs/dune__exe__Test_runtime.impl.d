@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Codec Dcp_core Dcp_net Dcp_sim Dcp_stable Dcp_wire Int List Option Port_name String Value Vtype

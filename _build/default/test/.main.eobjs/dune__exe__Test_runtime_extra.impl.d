@@ -1,0 +1,1 @@
+test/test_runtime_extra.ml: Alcotest Dcp_core Dcp_net Dcp_sim Dcp_wire List Port_name Printf Value Vtype

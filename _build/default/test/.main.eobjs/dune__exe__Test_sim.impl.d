@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Dcp_sim Float Format Int List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_stable.ml: Alcotest Dcp_rng Dcp_stable Hashtbl List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_stat_queueing.ml: Alcotest Dcp_net Dcp_rng Dcp_sim List QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_statement.ml: Alcotest Dcp_bank Dcp_core Dcp_net Dcp_sim List Printf

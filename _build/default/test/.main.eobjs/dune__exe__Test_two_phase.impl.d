@@ -1,0 +1,1 @@
+test/test_two_phase.ml: Alcotest Dcp_airline Dcp_core Dcp_net Dcp_primitives Dcp_sim Dcp_stable Dcp_wire List Printf String Value Vtype

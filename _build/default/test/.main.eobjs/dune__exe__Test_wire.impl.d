@@ -1,0 +1,1 @@
+test/test_wire.ml: Alcotest Codec Dcp_rng Dcp_wire Float Format Int64 List Option Port_name QCheck2 QCheck_alcotest Result String Token Transmit Value Vtype

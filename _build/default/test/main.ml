@@ -1,0 +1,30 @@
+let () =
+  Alcotest.run "dcp"
+    [
+      ("rng", Test_rng.tests);
+      ("sim", Test_sim.tests);
+      ("net", Test_net.tests);
+      ("stat_queueing", Test_stat_queueing.tests);
+      ("wire", Test_wire.tests);
+      ("message", Test_message.tests);
+      ("stable", Test_stable.tests);
+      ("core", Test_core.tests);
+      ("compute", Test_compute.tests);
+      ("runtime", Test_runtime.tests);
+      ("runtime_extra", Test_runtime_extra.tests);
+      ("primitives", Test_primitives.tests);
+      ("ordered", Test_ordered.tests);
+      ("replica", Test_replica.tests);
+      ("heartbeat", Test_heartbeat.tests);
+      ("failover", Test_failover.tests);
+      ("assoc", Test_assoc.tests);
+      ("airline", Test_airline.tests);
+      ("bank", Test_bank.tests);
+      ("statement", Test_statement.tests);
+      ("two_phase", Test_two_phase.tests);
+      ("acl", Test_acl.tests);
+      ("office", Test_office.tests);
+      ("chaos", Test_chaos.tests);
+      ("fuzz", Test_fuzz.tests);
+      ("misc", Test_misc.tests);
+    ]

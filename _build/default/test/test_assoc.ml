@@ -1,0 +1,139 @@
+(* §3.3's worked examples: associative memory and complex numbers. *)
+
+open Dcp_wire
+module Assoc_mem = Dcp_assoc.Assoc_mem
+module Complex_rep = Dcp_assoc.Complex_rep
+
+let test_assoc_basics_both_reps () =
+  List.iter
+    (fun rep ->
+      let am = Assoc_mem.create ~rep in
+      Assoc_mem.add_item am ~key:"b" (Value.int 2);
+      Assoc_mem.add_item am ~key:"a" (Value.int 1);
+      Assoc_mem.add_item am ~key:"c" (Value.int 3);
+      Alcotest.(check int) "size" 3 (Assoc_mem.size am);
+      Alcotest.(check bool) "mem" true (Assoc_mem.mem am ~key:"b");
+      Alcotest.(check (option string)) "get"
+        (Some "2")
+        (Option.map Value.to_string (Assoc_mem.get_item am ~key:"b"));
+      Assoc_mem.add_item am ~key:"b" (Value.int 20);
+      Alcotest.(check (option string)) "replace"
+        (Some "20")
+        (Option.map Value.to_string (Assoc_mem.get_item am ~key:"b"));
+      Assoc_mem.remove_item am ~key:"a";
+      Alcotest.(check bool) "removed" false (Assoc_mem.mem am ~key:"a");
+      Alcotest.(check (list string)) "sorted keys" [ "b"; "c" ]
+        (List.map fst (Assoc_mem.to_alist am)))
+    [ Assoc_mem.Hash; Assoc_mem.Tree ]
+
+let test_assoc_cross_rep_transfer () =
+  (* Node A (hash) encodes; node B (tree) decodes: §3.3 verbatim. *)
+  let on_a = Assoc_mem.create ~rep:Assoc_mem.Hash in
+  List.iter
+    (fun (k, v) -> Assoc_mem.add_item on_a ~key:k (Value.int v))
+    [ ("x", 1); ("y", 2); ("z", 3) ];
+  let wire = Transmit.to_value Assoc_mem.transmit_hash on_a in
+  let encoded = Codec.encode_exn wire in
+  let decoded = Codec.decode_exn encoded in
+  let on_b = Transmit.of_value Assoc_mem.transmit_tree decoded in
+  Alcotest.(check bool) "tree rep on B" true (Assoc_mem.rep_kind on_b = Assoc_mem.Tree);
+  Alcotest.(check bool) "same contents" true (Assoc_mem.equal on_a on_b);
+  Alcotest.(check bool) "AVL balanced" true (Assoc_mem.tree_is_balanced on_b)
+
+let test_assoc_external_rep_checked () =
+  let reg = Transmit.registry () in
+  Assoc_mem.register reg;
+  let am = Assoc_mem.of_alist ~rep:Assoc_mem.Hash [ ("k", Value.str "v") ] in
+  let wire = Transmit.to_value Assoc_mem.transmit_hash am in
+  Alcotest.(check bool) "registry validates" true (Result.is_ok (Transmit.check_named reg wire))
+
+let prop_assoc_model =
+  let op_gen =
+    QCheck2.Gen.(
+      oneof
+        [
+          map2 (fun k v -> `Add (string_of_int k, v)) (int_range 0 30) int;
+          map (fun k -> `Remove (string_of_int k)) (int_range 0 30);
+        ])
+  in
+  QCheck2.Test.make ~name:"assoc memory (both reps) matches a model map" ~count:200
+    QCheck2.Gen.(list_size (int_range 0 80) op_gen)
+    (fun ops ->
+      let hash = Assoc_mem.create ~rep:Assoc_mem.Hash in
+      let tree = Assoc_mem.create ~rep:Assoc_mem.Tree in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (function
+          | `Add (k, v) ->
+              Assoc_mem.add_item hash ~key:k (Value.int v);
+              Assoc_mem.add_item tree ~key:k (Value.int v);
+              Hashtbl.replace model k v
+          | `Remove k ->
+              Assoc_mem.remove_item hash ~key:k;
+              Assoc_mem.remove_item tree ~key:k;
+              Hashtbl.remove model k)
+        ops;
+      Assoc_mem.tree_is_balanced tree
+      && Assoc_mem.equal hash tree
+      && Hashtbl.fold
+           (fun k v acc -> acc && Assoc_mem.get_item hash ~key:k = Some (Value.int v))
+           model
+           (Assoc_mem.size hash = Hashtbl.length model))
+
+let prop_assoc_roundtrip =
+  QCheck2.Test.make ~name:"assoc transmit roundtrip preserves contents" ~count:150
+    QCheck2.Gen.(list_size (int_range 0 30) (pair (int_range 0 50) int))
+    (fun pairs ->
+      let am = Assoc_mem.create ~rep:Assoc_mem.Tree in
+      List.iter (fun (k, v) -> Assoc_mem.add_item am ~key:(string_of_int k) (Value.int v)) pairs;
+      let wire = Codec.encode_exn (Transmit.to_value Assoc_mem.transmit_tree am) in
+      let back = Transmit.of_value Assoc_mem.transmit_hash (Codec.decode_exn wire) in
+      Assoc_mem.equal am back)
+
+(* ---- Complex numbers ---- *)
+
+let test_complex_reps_agree () =
+  let c = Complex_rep.cartesian ~re:3.0 ~im:4.0 in
+  let p = Complex_rep.polar ~modulus:5.0 ~arg:(Float.atan2 4.0 3.0) in
+  Alcotest.(check bool) "same abstract value" true (Complex_rep.approx_equal ~eps:1e-9 c p);
+  Alcotest.(check (float 1e-9)) "modulus of cartesian" 5.0 (Complex_rep.modulus c);
+  Alcotest.(check (float 1e-9)) "re of polar" 3.0 (Complex_rep.re p)
+
+let test_complex_cross_rep_transfer () =
+  let c = Complex_rep.polar ~modulus:2.0 ~arg:(Float.pi /. 4.0) in
+  let wire = Codec.encode_exn (Transmit.to_value Complex_rep.transmit_polar c) in
+  let on_cartesian_node = Transmit.of_value Complex_rep.transmit_cartesian (Codec.decode_exn wire) in
+  Alcotest.(check bool) "received as cartesian" true (Complex_rep.is_cartesian on_cartesian_node);
+  Alcotest.(check bool) "value preserved" true
+    (Complex_rep.approx_equal ~eps:1e-9 c on_cartesian_node)
+
+let test_complex_arithmetic () =
+  let a = Complex_rep.cartesian ~re:1.0 ~im:2.0 in
+  let b = Complex_rep.polar ~modulus:1.0 ~arg:0.0 (* = 1 + 0i *) in
+  let sum = Complex_rep.add a b in
+  Alcotest.(check (float 1e-9)) "sum re" 2.0 (Complex_rep.re sum);
+  Alcotest.(check (float 1e-9)) "sum im" 2.0 (Complex_rep.im sum);
+  let prod = Complex_rep.mul a b in
+  Alcotest.(check bool) "mul by unit preserves" true (Complex_rep.approx_equal ~eps:1e-9 a prod)
+
+let prop_complex_roundtrip =
+  QCheck2.Test.make ~name:"complex transmit roundtrip" ~count:200
+    QCheck2.Gen.(pair (float_range (-1e3) 1e3) (float_range (-1e3) 1e3))
+    (fun (re, im) ->
+      let c = Complex_rep.cartesian ~re ~im in
+      let wire = Codec.encode_exn (Transmit.to_value Complex_rep.transmit_cartesian c) in
+      let back = Transmit.of_value Complex_rep.transmit_polar (Codec.decode_exn wire) in
+      Complex_rep.approx_equal ~eps:1e-6 c back)
+
+let tests =
+  [
+    Alcotest.test_case "assoc basics (both reps)" `Quick test_assoc_basics_both_reps;
+    Alcotest.test_case "assoc hash->tree transfer" `Quick test_assoc_cross_rep_transfer;
+    Alcotest.test_case "assoc registry" `Quick test_assoc_external_rep_checked;
+    QCheck_alcotest.to_alcotest prop_assoc_model;
+    QCheck_alcotest.to_alcotest prop_assoc_roundtrip;
+    Alcotest.test_case "complex reps agree" `Quick test_complex_reps_agree;
+    Alcotest.test_case "complex polar->cartesian" `Quick test_complex_cross_rep_transfer;
+    Alcotest.test_case "complex arithmetic" `Quick test_complex_arithmetic;
+    QCheck_alcotest.to_alcotest prop_complex_roundtrip;
+  ]

@@ -1,0 +1,122 @@
+(* The heartbeat failure detector: suspicion after consecutive timeouts,
+   recovery notices, and the inherent fallibility under slow links. *)
+
+module Runtime = Dcp_core.Runtime
+module Primordial = Dcp_core.Primordial
+module Message = Dcp_core.Message
+module Heartbeat = Dcp_primitives.Heartbeat
+module Clock = Dcp_sim.Clock
+module Topology = Dcp_net.Topology
+module Link = Dcp_net.Link
+open Dcp_wire
+
+let make_world ?(link = Link.perfect) () =
+  let world = Runtime.create_world ~seed:37 ~topology:(Topology.full_mesh ~n:2 link) () in
+  Primordial.install world;
+  world
+
+let fresh_name =
+  let i = ref 0 in
+  fun () ->
+    incr i;
+    Printf.sprintf "hb_driver_%d" !i
+
+let driver world ~at body =
+  let name = fresh_name () in
+  let def =
+    { Runtime.def_name = name; provides = []; init = (fun ctx _ -> body ctx); recover = None }
+  in
+  Runtime.register_def world def;
+  ignore (Runtime.create_guardian world ~at ~def_name:name ~args:[])
+
+(* Watch node 1 from node 0 and log detector notifications with times. *)
+let run_detector world ~script =
+  let events = ref [] in
+  driver world ~at:0 (fun ctx ->
+      let notify = Runtime.new_port ctx ~capacity:32 [ Vtype.wildcard ] in
+      let watcher =
+        Heartbeat.watch_node ctx ~node:1
+          ~notify:(Dcp_core.Port.name notify)
+          ~period:(Clock.ms 100) ~ping_timeout:(Clock.ms 50) ~misses:3 ()
+      in
+      ignore (Runtime.spawn ctx ~name:"script" (fun () -> script ctx watcher));
+      let rec listen () =
+        match Runtime.receive ctx ~timeout:(Clock.s 20) [ notify ] with
+        | `Msg (_, msg) ->
+            events := (msg.Message.command, Runtime.ctx_now ctx) :: !events;
+            listen ()
+        | `Timeout -> ()
+      in
+      listen ());
+  Runtime.run_for world (Clock.s 30);
+  List.rev !events
+
+let test_detects_crash_and_recovery () =
+  let world = make_world () in
+  let events =
+    run_detector world ~script:(fun ctx watcher ->
+        Runtime.sleep ctx (Clock.s 1);
+        Runtime.crash_node world 1;
+        Runtime.sleep ctx (Clock.s 2);
+        Runtime.restart_node world 1;
+        Runtime.sleep ctx (Clock.s 2);
+        Heartbeat.stop watcher)
+  in
+  match events with
+  | [ ("peer_down", down_at); ("peer_up", up_at) ] ->
+      Alcotest.(check bool) "down detected after the crash" true (down_at > Clock.s 1);
+      Alcotest.(check bool) "down within ~5 periods of the crash" true
+        (down_at < Clock.s 1 + Clock.ms 600);
+      Alcotest.(check bool) "up detected after the restart" true (up_at > Clock.s 3)
+  | other ->
+      Alcotest.failf "unexpected notifications: %s" (String.concat "," (List.map fst other))
+
+let test_no_false_alarm_on_healthy_peer () =
+  let world = make_world () in
+  let events =
+    run_detector world ~script:(fun ctx watcher ->
+        Runtime.sleep ctx (Clock.s 5);
+        Heartbeat.stop watcher)
+  in
+  Alcotest.(check int) "silence" 0 (List.length events)
+
+let test_is_suspected_view () =
+  let world = make_world () in
+  let verdicts = ref [] in
+  driver world ~at:0 (fun ctx ->
+      let notify = Runtime.new_port ctx ~capacity:32 [ Vtype.wildcard ] in
+      let watcher =
+        Heartbeat.watch_node ctx ~node:1
+          ~notify:(Dcp_core.Port.name notify)
+          ~period:(Clock.ms 100) ~ping_timeout:(Clock.ms 50) ~misses:2 ()
+      in
+      Runtime.sleep ctx (Clock.ms 500);
+      verdicts := Heartbeat.is_suspected watcher :: !verdicts;
+      Runtime.crash_node world 1;
+      Runtime.sleep ctx (Clock.s 1);
+      verdicts := Heartbeat.is_suspected watcher :: !verdicts;
+      Heartbeat.stop watcher);
+  Runtime.run_for world (Clock.s 5);
+  Alcotest.(check (list bool)) "healthy then suspected" [ true; false ] !verdicts
+
+let test_false_suspicion_on_slow_link () =
+  (* A link slower than the ping timeout: the detector *wrongly* suspects a
+     perfectly healthy peer — §3.5's "nothing is known about the true state
+     of affairs", demonstrated. *)
+  let slow = { Link.perfect with base_latency = Clock.ms 80 } in
+  let world = make_world ~link:slow () in
+  let events =
+    run_detector world ~script:(fun ctx watcher ->
+        Runtime.sleep ctx (Clock.s 3);
+        Heartbeat.stop watcher)
+  in
+  Alcotest.(check bool) "false positive raised" true
+    (List.exists (fun (c, _) -> String.equal c "peer_down") events)
+
+let tests =
+  [
+    Alcotest.test_case "detects crash and recovery" `Quick test_detects_crash_and_recovery;
+    Alcotest.test_case "no false alarm when healthy" `Quick test_no_false_alarm_on_healthy_peer;
+    Alcotest.test_case "is_suspected view" `Quick test_is_suspected_view;
+    Alcotest.test_case "false suspicion on slow link" `Quick test_false_suspicion_on_slow_link;
+  ]

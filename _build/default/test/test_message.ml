@@ -1,0 +1,80 @@
+(* Message construction and the wire envelope. *)
+
+open Dcp_wire
+module Message = Dcp_core.Message
+
+let port_a = Port_name.make ~node:1 ~guardian:2 ~index:0 ~uid:10
+let port_b = Port_name.make ~node:3 ~guardian:4 ~index:1 ~uid:11
+
+let test_make_and_fields () =
+  let m = Message.make ~reply_to:port_b ~sent_at:42 "reserve" [ Value.int 7 ] in
+  Alcotest.(check string) "command" "reserve" m.Message.command;
+  Alcotest.(check bool) "reply port" true (m.Message.reply_to = Some port_b);
+  Alcotest.(check int) "timestamp" 42 m.Message.sent_at;
+  Alcotest.(check bool) "not failure" false (Message.is_failure m)
+
+let test_failure_shape () =
+  let f = Message.failure ~reason:"no room" ~sent_at:1 in
+  Alcotest.(check bool) "is failure" true (Message.is_failure f);
+  Alcotest.(check bool) "no reply port ever" true (f.Message.reply_to = None);
+  Alcotest.(check bool) "reason in args" true (f.Message.args = [ Value.str "no room" ])
+
+let test_envelope_roundtrip () =
+  let m =
+    Message.make ~reply_to:port_b ~sent_at:99 "op"
+      [ Value.int 1; Value.str "x"; Value.list [ Value.bool true ] ]
+  in
+  let env = Message.envelope ~target:port_a m in
+  (* through the codec, like the runtime does *)
+  let decoded = Codec.decode_exn (Codec.encode_exn env) in
+  match Message.of_envelope decoded with
+  | Error e -> Alcotest.fail e
+  | Ok (target, m') ->
+      Alcotest.(check bool) "target" true (Port_name.equal target port_a);
+      Alcotest.(check string) "command" "op" m'.Message.command;
+      Alcotest.(check bool) "args" true (List.equal Value.equal m.Message.args m'.Message.args);
+      Alcotest.(check bool) "reply" true (m'.Message.reply_to = Some port_b);
+      Alcotest.(check int) "sent_at travels" 99 m'.Message.sent_at
+
+let test_envelope_no_reply () =
+  let m = Message.make ~sent_at:0 "fire" [] in
+  match Message.of_envelope (Message.envelope ~target:port_a m) with
+  | Ok (_, m') -> Alcotest.(check bool) "no reply port" true (m'.Message.reply_to = None)
+  | Error e -> Alcotest.fail e
+
+let test_envelope_malformed () =
+  (match Message.of_envelope (Value.int 3) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "an int is not an envelope");
+  match Message.of_envelope (Value.record [ ("target", Value.int 1) ]) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing fields must fail"
+
+let test_pp () =
+  let m = Message.make ~reply_to:port_b ~sent_at:0 "reserve" [ Value.int 12; Value.str "bob" ] in
+  Alcotest.(check string) "rendering"
+    "reserve(12, \"bob\") replyto port<n3.g4.p1#11>"
+    (Format.asprintf "%a" Message.pp m)
+
+let prop_envelope_roundtrip =
+  QCheck2.Test.make ~name:"envelope roundtrips arbitrary argument vectors" ~count:200
+    QCheck2.Gen.(
+      pair (string_size (int_range 1 12)) (list_size (int_range 0 6) (oneof [ map (fun i -> Value.Int i) int; map (fun s -> Value.Str s) (string_size (int_range 0 10)) ])))
+    (fun (command, args) ->
+      let m = Message.make ~sent_at:5 command args in
+      match Message.of_envelope (Message.envelope ~target:port_a m) with
+      | Ok (_, m') ->
+          String.equal m'.Message.command command
+          && List.equal Value.equal m'.Message.args args
+      | Error _ -> false)
+
+let tests =
+  [
+    Alcotest.test_case "make + fields" `Quick test_make_and_fields;
+    Alcotest.test_case "failure shape" `Quick test_failure_shape;
+    Alcotest.test_case "envelope roundtrip" `Quick test_envelope_roundtrip;
+    Alcotest.test_case "envelope no reply" `Quick test_envelope_no_reply;
+    Alcotest.test_case "envelope malformed" `Quick test_envelope_malformed;
+    Alcotest.test_case "pp" `Quick test_pp;
+    QCheck_alcotest.to_alcotest prop_envelope_roundtrip;
+  ]

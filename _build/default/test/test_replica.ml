@@ -1,0 +1,148 @@
+(* Distributed simultaneous update (§3's protocol family): replicated
+   registers with Lamport-stamped last-writer-wins and anti-entropy. *)
+
+open Dcp_wire
+module Runtime = Dcp_core.Runtime
+module Replica = Dcp_primitives.Replica
+module Clock = Dcp_sim.Clock
+module Topology = Dcp_net.Topology
+module Network = Dcp_net.Network
+module Link = Dcp_net.Link
+
+let make_world ?(n = 3) ?(link = Link.lan) () =
+  Runtime.create_world ~seed:73 ~topology:(Topology.full_mesh ~n link) ()
+
+let fresh_name =
+  let i = ref 0 in
+  fun () ->
+    incr i;
+    Printf.sprintf "replica_driver_%d" !i
+
+let driver world ~at body =
+  let name = fresh_name () in
+  let def =
+    { Runtime.def_name = name; provides = []; init = (fun ctx _ -> body ctx); recover = None }
+  in
+  Runtime.register_def world def;
+  ignore (Runtime.create_guardian world ~at ~def_name:name ~args:[])
+
+(* Read replica i from a driver co-located at node i, so the observation
+   itself neither crosses partitions nor suffers link loss. *)
+let read_all world replicas ~key =
+  let results = Array.make (List.length replicas) None in
+  List.iteri
+    (fun i replica ->
+      driver world ~at:i (fun ctx ->
+          results.(i) <-
+            Option.map Value.to_string (Replica.read ctx ~replica ~key ~timeout:(Clock.s 1))))
+    replicas;
+  Runtime.run_for world (Clock.s 5);
+  Array.to_list results
+
+let test_write_propagates () =
+  let world = make_world () in
+  let replicas = Replica.create_group world ~nodes:[ 0; 1; 2 ] () in
+  driver world ~at:0 (fun ctx ->
+      Runtime.sleep ctx (Clock.ms 50);
+      ignore
+        (Replica.write ctx ~replica:(List.hd replicas) ~key:"color"
+           ~value:(Value.str "red") ~timeout:(Clock.s 1)));
+  Runtime.run_for world (Clock.s 5);
+  Alcotest.(check (list (option string)))
+    "all replicas converge"
+    [ Some "\"red\""; Some "\"red\""; Some "\"red\"" ]
+    (read_all world replicas ~key:"color")
+
+let test_unknown_key () =
+  let world = make_world () in
+  let replicas = Replica.create_group world ~nodes:[ 0; 1; 2 ] () in
+  Alcotest.(check (list (option string)))
+    "nothing written"
+    [ None; None; None ]
+    (read_all world replicas ~key:"ghost")
+
+let test_concurrent_writes_converge_to_one_winner () =
+  let world = make_world () in
+  let replicas = Replica.create_group world ~nodes:[ 0; 1; 2 ] () in
+  (* Three clients write different values to three replicas at (nearly)
+     the same moment. *)
+  List.iteri
+    (fun i replica ->
+      driver world ~at:i (fun ctx ->
+          Runtime.sleep ctx (Clock.ms 50);
+          ignore
+            (Replica.write ctx ~replica ~key:"leader"
+               ~value:(Value.str (Printf.sprintf "candidate%d" i))
+               ~timeout:(Clock.s 1))))
+    replicas;
+  Runtime.run_for world (Clock.s 10);
+  match read_all world replicas ~key:"leader" with
+  | [ Some a; Some b; Some c ] ->
+      Alcotest.(check string) "replica 1 agrees" a b;
+      Alcotest.(check string) "replica 2 agrees" b c
+  | other ->
+      Alcotest.failf "missing values: %s"
+        (String.concat "," (List.map (Option.value ~default:"-") other))
+
+let test_partition_then_converge () =
+  let world = make_world () in
+  let replicas = Replica.create_group world ~nodes:[ 0; 1; 2 ] ~sync_every:(Clock.ms 200) () in
+  let network = Runtime.network world in
+  (* Let the group form, then split node 2 away. *)
+  Runtime.run_for world (Clock.ms 100);
+  Network.partition network [ [ 0; 1 ]; [ 2 ] ];
+  (* Both sides accept conflicting writes during the partition. *)
+  driver world ~at:0 (fun ctx ->
+      ignore
+        (Replica.write ctx ~replica:(List.nth replicas 0) ~key:"k" ~value:(Value.str "west")
+           ~timeout:(Clock.s 1)));
+  driver world ~at:2 (fun ctx ->
+      Runtime.sleep ctx (Clock.ms 10);
+      ignore
+        (Replica.write ctx ~replica:(List.nth replicas 2) ~key:"k" ~value:(Value.str "east")
+           ~timeout:(Clock.s 1)));
+  Runtime.run_for world (Clock.s 2);
+  (* Divergence while partitioned. *)
+  (match read_all world replicas ~key:"k" with
+  | [ Some a; _; Some c ] -> Alcotest.(check bool) "diverged" true (a <> c)
+  | _ -> Alcotest.fail "missing values during partition");
+  (* Heal; anti-entropy reconciles to a single winner everywhere. *)
+  Network.heal network;
+  Runtime.run_for world (Clock.s 5);
+  match read_all world replicas ~key:"k" with
+  | [ Some a; Some b; Some c ] ->
+      Alcotest.(check string) "converged 0=1" a b;
+      Alcotest.(check string) "converged 1=2" b c
+  | _ -> Alcotest.fail "missing values after heal"
+
+let test_lossy_network_still_converges () =
+  let world = make_world ~link:(Link.lossy 0.3) () in
+  let replicas = Replica.create_group world ~nodes:[ 0; 1; 2 ] ~sync_every:(Clock.ms 100) () in
+  driver world ~at:1 (fun ctx ->
+      Runtime.sleep ctx (Clock.ms 200);
+      for i = 0 to 4 do
+        ignore
+          (Replica.write ctx
+             ~replica:(List.nth replicas 1)
+             ~key:(Printf.sprintf "k%d" i)
+             ~value:(Value.int i) ~timeout:(Clock.s 1))
+      done);
+  Runtime.run_for world (Clock.s 30);
+  (* every key readable from every replica despite 30% loss *)
+  for i = 0 to 4 do
+    match read_all world replicas ~key:(Printf.sprintf "k%d" i) with
+    | [ Some a; Some b; Some c ] ->
+        Alcotest.(check string) "agree" a b;
+        Alcotest.(check string) "agree" b c
+    | _ -> Alcotest.failf "key k%d missing somewhere" i
+  done
+
+let tests =
+  [
+    Alcotest.test_case "write propagates" `Quick test_write_propagates;
+    Alcotest.test_case "unknown key" `Quick test_unknown_key;
+    Alcotest.test_case "concurrent writes: one winner" `Quick
+      test_concurrent_writes_converge_to_one_winner;
+    Alcotest.test_case "partition then converge" `Quick test_partition_then_converge;
+    Alcotest.test_case "lossy network converges" `Slow test_lossy_network_still_converges;
+  ]

@@ -1,0 +1,248 @@
+(* The simulation substrate: heap, clock, engine, metrics, trace. *)
+
+module Heap = Dcp_sim.Heap
+module Clock = Dcp_sim.Clock
+module Engine = Dcp_sim.Engine
+module Metrics = Dcp_sim.Metrics
+module Trace = Dcp_sim.Trace
+
+(* ---- Heap ---- *)
+
+let test_heap_basics () =
+  let h = Heap.create ~cmp:Int.compare in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Heap.push h 5;
+  Heap.push h 1;
+  Heap.push h 3;
+  Alcotest.(check int) "length" 3 (Heap.length h);
+  Alcotest.(check (option int)) "peek min" (Some 1) (Heap.peek h);
+  Alcotest.(check (option int)) "pop min" (Some 1) (Heap.pop h);
+  Alcotest.(check (option int)) "pop next" (Some 3) (Heap.pop h);
+  Alcotest.(check (option int)) "pop last" (Some 5) (Heap.pop h);
+  Alcotest.(check (option int)) "pop empty" None (Heap.pop h)
+
+let test_heap_pop_exn_empty () =
+  let h = Heap.create ~cmp:Int.compare in
+  Alcotest.check_raises "pop_exn on empty" (Invalid_argument "Heap.pop_exn: empty heap")
+    (fun () -> ignore (Heap.pop_exn h))
+
+let test_heap_sorts () =
+  let h = Heap.of_list ~cmp:Int.compare [ 9; 2; 7; 2; 0; -3; 100; 55 ] in
+  let rec drain acc = match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc) in
+  Alcotest.(check (list int)) "drains sorted" [ -3; 0; 2; 2; 7; 9; 55; 100 ] (drain [])
+
+let prop_heap_invariant =
+  QCheck2.Test.make ~name:"heap invariant after pushes and pops" ~count:300
+    QCheck2.Gen.(list (pair bool int))
+    (fun ops ->
+      let h = Heap.create ~cmp:Int.compare in
+      List.iter
+        (fun (push, v) -> if push then Heap.push h v else ignore (Heap.pop h))
+        ops;
+      Heap.check_invariant h)
+
+let prop_heap_sorted_drain =
+  QCheck2.Test.make ~name:"heap drains in sorted order" ~count:300
+    QCheck2.Gen.(list int)
+    (fun xs ->
+      let h = Heap.of_list ~cmp:Int.compare xs in
+      let rec drain acc = match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc) in
+      drain [] = List.sort Int.compare xs)
+
+(* ---- Clock ---- *)
+
+let test_clock_units () =
+  Alcotest.(check int) "us" 1_000 (Clock.us 1);
+  Alcotest.(check int) "ms" 1_000_000 (Clock.ms 1);
+  Alcotest.(check int) "s" 1_000_000_000 (Clock.s 1);
+  Alcotest.(check int) "of_float_s" 1_500_000_000 (Clock.of_float_s 1.5);
+  Alcotest.(check (float 1e-9)) "to_float_ms" 1.5 (Clock.to_float_ms (Clock.us 1500))
+
+let test_clock_pp () =
+  let render t = Format.asprintf "%a" Clock.pp t in
+  Alcotest.(check string) "ns" "500ns" (render 500);
+  Alcotest.(check string) "us" "1.500us" (render 1500);
+  Alcotest.(check string) "ms" "2.000ms" (render (Clock.ms 2));
+  Alcotest.(check string) "s" "3.000s" (render (Clock.s 3))
+
+(* ---- Engine ---- *)
+
+let test_engine_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let note tag () = log := tag :: !log in
+  ignore (Engine.schedule e ~at:(Clock.ms 5) (note "b"));
+  ignore (Engine.schedule e ~at:(Clock.ms 1) (note "a"));
+  ignore (Engine.schedule e ~at:(Clock.ms 9) (note "c"));
+  Engine.run e;
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] (List.rev !log);
+  Alcotest.(check int) "clock at last event" (Clock.ms 9) (Engine.now e)
+
+let test_engine_fifo_ties () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    ignore (Engine.schedule e ~at:(Clock.ms 1) (fun () -> log := i :: !log))
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "ties run in scheduling order" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_engine_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let t = Engine.schedule e ~at:(Clock.ms 1) (fun () -> fired := true) in
+  Engine.cancel t;
+  Engine.run e;
+  Alcotest.(check bool) "cancelled timer silent" false !fired;
+  Alcotest.(check bool) "marked cancelled" true (Engine.is_cancelled t)
+
+let test_engine_schedule_in_past_clamped () =
+  let e = Engine.create () in
+  let when_fired = ref (-1) in
+  ignore
+    (Engine.schedule e ~at:(Clock.ms 10) (fun () ->
+         ignore (Engine.schedule e ~at:(Clock.ms 1) (fun () -> when_fired := Engine.now e))));
+  Engine.run e;
+  Alcotest.(check int) "clamped to now" (Clock.ms 10) !when_fired
+
+let test_engine_run_until () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  for i = 1 to 10 do
+    ignore (Engine.schedule e ~at:(Clock.ms i) (fun () -> incr count))
+  done;
+  Engine.run_until e (Clock.ms 5);
+  Alcotest.(check int) "only first five" 5 !count;
+  Alcotest.(check int) "clock at limit" (Clock.ms 5) (Engine.now e);
+  Engine.run e;
+  Alcotest.(check int) "rest run later" 10 !count
+
+let test_engine_cascading () =
+  (* Events scheduling events: a chain of N hops lands at t = N. *)
+  let e = Engine.create () in
+  let hops = ref 0 in
+  let rec hop () =
+    incr hops;
+    if !hops < 100 then ignore (Engine.schedule_after e ~delay:(Clock.us 1) hop)
+  in
+  ignore (Engine.schedule_after e ~delay:(Clock.us 1) hop);
+  Engine.run e;
+  Alcotest.(check int) "all hops" 100 !hops;
+  Alcotest.(check int) "time advanced linearly" (Clock.us 100) (Engine.now e);
+  Alcotest.(check int) "events counted" 100 (Engine.events_executed e)
+
+let test_engine_pending () =
+  let e = Engine.create () in
+  let t1 = Engine.schedule e ~at:(Clock.ms 1) (fun () -> ()) in
+  ignore (Engine.schedule e ~at:(Clock.ms 2) (fun () -> ()));
+  Alcotest.(check int) "two pending" 2 (Engine.pending e);
+  Engine.cancel t1;
+  Alcotest.(check int) "one after cancel" 1 (Engine.pending e)
+
+(* ---- Metrics ---- *)
+
+let test_metrics_counters () =
+  let r = Metrics.registry () in
+  let c = Metrics.counter r "hits" in
+  Metrics.incr c;
+  Metrics.incr c;
+  Metrics.add c 3;
+  Alcotest.(check int) "count" 5 (Metrics.count c);
+  Alcotest.(check int) "same name, same counter" 5 (Metrics.count (Metrics.counter r "hits"));
+  Alcotest.(check (list (pair string int))) "report" [ ("hits", 5) ] (Metrics.counters r)
+
+let test_metrics_gauges () =
+  let r = Metrics.registry () in
+  let g = Metrics.gauge r "depth" in
+  Metrics.set_gauge g 2.5;
+  Alcotest.(check (float 1e-9)) "gauge" 2.5 (Metrics.gauge_value g)
+
+let test_metrics_histogram_quantiles () =
+  let r = Metrics.registry () in
+  let h = Metrics.histogram r "lat" in
+  for i = 1 to 1000 do
+    Metrics.observe h (float_of_int i)
+  done;
+  Alcotest.(check int) "samples" 1000 (Metrics.samples h);
+  Alcotest.(check (float 1.0)) "mean" 500.5 (Metrics.mean h);
+  let p50 = Metrics.quantile h 0.5 in
+  Alcotest.(check bool) "p50 within 10%" true (Float.abs (p50 -. 500.0) < 50.0);
+  let p99 = Metrics.quantile h 0.99 in
+  Alcotest.(check bool) "p99 within 10%" true (Float.abs (p99 -. 990.0) < 99.0);
+  Alcotest.(check (float 1e-9)) "max exact" 1000.0 (Metrics.hist_max h);
+  Alcotest.(check (float 1e-9)) "min exact" 1.0 (Metrics.hist_min h)
+
+let test_metrics_histogram_empty () =
+  let r = Metrics.registry () in
+  let h = Metrics.histogram r "empty" in
+  Alcotest.(check (float 1e-9)) "mean 0" 0.0 (Metrics.mean h);
+  Alcotest.(check (float 1e-9)) "quantile 0" 0.0 (Metrics.quantile h 0.5)
+
+let prop_histogram_quantile_monotone =
+  QCheck2.Test.make ~name:"histogram quantiles are monotone" ~count:100
+    QCheck2.Gen.(list_size (int_range 1 200) (float_range 0.1 1e6))
+    (fun samples ->
+      let r = Metrics.registry () in
+      let h = Metrics.histogram r "x" in
+      List.iter (Metrics.observe h) samples;
+      let q1 = Metrics.quantile h 0.25
+      and q2 = Metrics.quantile h 0.5
+      and q3 = Metrics.quantile h 0.95 in
+      q1 <= q2 && q2 <= q3)
+
+(* ---- Trace ---- *)
+
+let test_trace_records () =
+  let t = Trace.create ~capacity:8 () in
+  Trace.record t ~at:1 ~category:"send" "hello";
+  Trace.recordf t ~at:2 ~category:"recv" "%d of %d" 1 2;
+  Alcotest.(check int) "size" 2 (Trace.size t);
+  match Trace.events t with
+  | [ e1; e2 ] ->
+      Alcotest.(check string) "first" "hello" e1.Trace.detail;
+      Alcotest.(check string) "formatted" "1 of 2" e2.Trace.detail
+  | _ -> Alcotest.fail "expected two events"
+
+let test_trace_ring_overflow () =
+  let t = Trace.create ~capacity:4 () in
+  for i = 1 to 10 do
+    Trace.record t ~at:i ~category:"x" (string_of_int i)
+  done;
+  Alcotest.(check int) "retains capacity" 4 (Trace.size t);
+  Alcotest.(check int) "total counts all" 10 (Trace.total t);
+  Alcotest.(check (list string)) "keeps newest"
+    [ "7"; "8"; "9"; "10" ]
+    (List.map (fun e -> e.Trace.detail) (Trace.events t))
+
+let test_trace_find () =
+  let t = Trace.create () in
+  Trace.record t ~at:1 ~category:"a" "1";
+  Trace.record t ~at:2 ~category:"b" "2";
+  Trace.record t ~at:3 ~category:"a" "3";
+  Alcotest.(check int) "category filter" 2 (List.length (Trace.find t ~category:"a"))
+
+let tests =
+  [
+    Alcotest.test_case "heap basics" `Quick test_heap_basics;
+    Alcotest.test_case "heap pop_exn empty" `Quick test_heap_pop_exn_empty;
+    Alcotest.test_case "heap sorts" `Quick test_heap_sorts;
+    QCheck_alcotest.to_alcotest prop_heap_invariant;
+    QCheck_alcotest.to_alcotest prop_heap_sorted_drain;
+    Alcotest.test_case "clock units" `Quick test_clock_units;
+    Alcotest.test_case "clock pp" `Quick test_clock_pp;
+    Alcotest.test_case "engine time order" `Quick test_engine_order;
+    Alcotest.test_case "engine FIFO ties" `Quick test_engine_fifo_ties;
+    Alcotest.test_case "engine cancel" `Quick test_engine_cancel;
+    Alcotest.test_case "engine past clamped" `Quick test_engine_schedule_in_past_clamped;
+    Alcotest.test_case "engine run_until" `Quick test_engine_run_until;
+    Alcotest.test_case "engine cascading events" `Quick test_engine_cascading;
+    Alcotest.test_case "engine pending" `Quick test_engine_pending;
+    Alcotest.test_case "metrics counters" `Quick test_metrics_counters;
+    Alcotest.test_case "metrics gauges" `Quick test_metrics_gauges;
+    Alcotest.test_case "histogram quantiles" `Quick test_metrics_histogram_quantiles;
+    Alcotest.test_case "histogram empty" `Quick test_metrics_histogram_empty;
+    QCheck_alcotest.to_alcotest prop_histogram_quantile_monotone;
+    Alcotest.test_case "trace records" `Quick test_trace_records;
+    Alcotest.test_case "trace ring overflow" `Quick test_trace_ring_overflow;
+    Alcotest.test_case "trace find" `Quick test_trace_find;
+  ]

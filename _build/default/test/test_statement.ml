@@ -1,0 +1,78 @@
+(* Bank statements streamed over the ordered channel — the §3.4 ordering
+   coordination used by an application. *)
+
+module Runtime = Dcp_core.Runtime
+module Statement = Dcp_bank.Statement
+module Clock = Dcp_sim.Clock
+module Topology = Dcp_net.Topology
+module Link = Dcp_net.Link
+
+let journal =
+  [
+    ("alice", "opening balance", 100);
+    ("alice", "salary", 2500);
+    ("bob", "opening balance", 50);
+    ("alice", "rent", -900);
+    ("alice", "groceries", -120);
+    ("bob", "salary", 1800);
+    ("alice", "interest", 12);
+  ]
+
+let alice_rows =
+  [ ("opening balance", 100); ("salary", 2500); ("rent", -900); ("groceries", -120); ("interest", 12) ]
+
+let fresh_name =
+  let i = ref 0 in
+  fun () ->
+    incr i;
+    Printf.sprintf "stmt_driver_%d" !i
+
+let driver world ~at body =
+  let name = fresh_name () in
+  let def =
+    { Runtime.def_name = name; provides = []; init = (fun ctx _ -> body ctx); recover = None }
+  in
+  Runtime.register_def world def;
+  ignore (Runtime.create_guardian world ~at ~def_name:name ~args:[])
+
+let run_fetch ~link ~account =
+  let world = Runtime.create_world ~seed:67 ~topology:(Topology.full_mesh ~n:2 link) () in
+  let statements = Statement.create world ~at:0 ~journal () in
+  let result = ref None in
+  driver world ~at:1 (fun ctx ->
+      result := Statement.fetch_statement ctx ~statements ~account ~timeout:(Clock.s 5));
+  Runtime.run_for world (Clock.s 60);
+  !result
+
+let test_statement_in_order () =
+  match run_fetch ~link:Link.perfect ~account:"alice" with
+  | Some rows -> Alcotest.(check (list (pair string int))) "journal order" alice_rows rows
+  | None -> Alcotest.fail "no statement"
+
+let test_statement_over_lossy_jittery_link () =
+  let link = { (Link.lossy 0.2) with base_latency = Clock.ms 2; jitter = Clock.ms 15 } in
+  match run_fetch ~link ~account:"alice" with
+  | Some rows ->
+      Alcotest.(check (list (pair string int))) "order survives a bad link" alice_rows rows
+  | None -> Alcotest.fail "no statement"
+
+let test_statement_unknown_account () =
+  match run_fetch ~link:Link.perfect ~account:"nobody" with
+  | Some [] -> ()
+  | Some _ -> Alcotest.fail "unexpected rows"
+  | None -> Alcotest.fail "expected empty statement"
+
+let test_statement_running_balance () =
+  match run_fetch ~link:Link.perfect ~account:"alice" with
+  | None -> Alcotest.fail "no statement"
+  | Some rows ->
+      let balance = List.fold_left (fun acc (_, amount) -> acc + amount) 0 rows in
+      Alcotest.(check int) "running balance correct because order held" 1592 balance
+
+let tests =
+  [
+    Alcotest.test_case "statement in order" `Quick test_statement_in_order;
+    Alcotest.test_case "statement over lossy link" `Quick test_statement_over_lossy_jittery_link;
+    Alcotest.test_case "unknown account" `Quick test_statement_unknown_account;
+    Alcotest.test_case "running balance" `Quick test_statement_running_balance;
+  ]
