@@ -1,0 +1,1 @@
+bench/probe.ml: Array Dcp_core Dcp_net Dcp_sim Dcp_wire List Printf Sys Vtype

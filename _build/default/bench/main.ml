@@ -2,7 +2,12 @@
    (E1-E8) on the simulator, then runs the bechamel micro-benchmarks.
 
    Run with:  dune exec bench/main.exe
-   Pass experiment ids (e1 ... e8, micro) to run a subset. *)
+   Pass experiment ids (e1 ... e8, micro) to run a subset.
+
+   `dune exec bench/main.exe -- micro` additionally writes BENCH_micro.json
+   (ns/op per hot-path row; schema in DESIGN.md §6) — the machine-readable
+   perf baseline compared across PRs.  `dune build @bench-smoke` runs it as
+   a CI smoke check. *)
 
 let registry =
   [
@@ -40,6 +45,6 @@ let () =
   print_endline "Primitives for Distributed Computing (Liskov, SOSP 1979) — reproduction benches";
   List.iter
     (fun (name, f) ->
-      ignore name;
+      Printf.printf "-- %s --\n%!" name;
       f ())
     to_run

@@ -1,5 +1,9 @@
 (* Bechamel micro-benchmarks of the hot paths: codec, CRC, heap, WAL,
-   tokens, and the full in-simulator send path.  One Test.make per row. *)
+   tokens, and the full in-simulator send path.  One Test.make per row.
+
+   Besides the console table, [run] writes BENCH_micro.json (schema
+   documented in DESIGN.md §6) so the perf trajectory is machine-readable
+   across PRs. *)
 
 open Bechamel
 open Toolkit
@@ -120,6 +124,70 @@ let test_send_path =
           ignore (Runtime.create_guardian world ~at:0 ~def_name:"bench_client" ~args:[]);
           Runtime.run world))
 
+(* Same round trip against a world that already hosts 1k guardians on the
+   node: with any O(#guardians) work left on the delivery path this row
+   collapses; with the indexed hot path it tracks the row above. *)
+let test_send_path_1k =
+  Test.make ~name:"runtime round-trip @1k guardians"
+    (Staged.stage
+       (let world =
+          Runtime.create_world ~seed:2
+            ~topology:(Topology.full_mesh ~n:1 Dcp_net.Link.perfect)
+            ()
+        in
+        let idle_def =
+          {
+            Runtime.def_name = "bench_idle";
+            provides = [];
+            init = (fun _ _ -> ());
+            recover = None;
+          }
+        in
+        let echo_def =
+          {
+            Runtime.def_name = "bench_echo";
+            provides = [ ([ Vtype.wildcard ], 64) ];
+            init =
+              (fun ctx _ ->
+                let rec loop () =
+                  (match Runtime.receive ctx [ Runtime.port ctx 0 ] with
+                  | `Timeout -> ()
+                  | `Msg (_, msg) -> (
+                      match msg.Dcp_core.Message.reply_to with
+                      | Some reply -> Runtime.send ctx ~to_:reply "pong" []
+                      | None -> ()));
+                  loop ()
+                in
+                loop ());
+            recover = None;
+          }
+        in
+        Runtime.register_def world idle_def;
+        Runtime.register_def world echo_def;
+        let echo = Runtime.create_guardian world ~at:0 ~def_name:"bench_echo" ~args:[] in
+        let echo_port = List.hd (Runtime.guardian_ports echo) in
+        for _ = 1 to 999 do
+          ignore (Runtime.create_guardian world ~at:0 ~def_name:"bench_idle" ~args:[])
+        done;
+        let client_def =
+          {
+            Runtime.def_name = "bench_client";
+            provides = [];
+            init =
+              (fun ctx _ ->
+                let reply = Runtime.new_port ctx [ Vtype.wildcard ] in
+                Runtime.send ctx ~to_:echo_port ~reply_to:(Dcp_core.Port.name reply) "ping" [];
+                match Runtime.receive ctx ~timeout:(Clock.s 1) [ reply ] with
+                | `Msg _ | `Timeout -> ());
+            recover = None;
+          }
+        in
+        Runtime.register_def world client_def;
+        Runtime.run world;
+        fun () ->
+          ignore (Runtime.create_guardian world ~at:0 ~def_name:"bench_client" ~args:[]);
+          Runtime.run world))
+
 let all_tests =
   [
     test_codec_encode;
@@ -131,11 +199,43 @@ let all_tests =
     test_token;
     test_rng;
     test_send_path;
+    test_send_path_1k;
   ]
+
+let json_path = "BENCH_micro.json"
+
+(* Row names are controlled strings (no quotes/backslashes), but escape
+   defensively so the JSON stays well-formed whatever a row is called. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json rows =
+  let oc = open_out json_path in
+  Printf.fprintf oc "{\n  \"schema\": \"dcp.bench.micro/v1\",\n  \"unit\": \"ns_per_op\",\n  \"results\": [";
+  List.iteri
+    (fun i (name, est) ->
+      Printf.fprintf oc "%s\n    { \"name\": \"%s\", \"ns_per_op\": %s }"
+        (if i = 0 then "" else ",")
+        (json_escape name)
+        (match est with Some v -> Printf.sprintf "%.1f" v | None -> "null"))
+    rows;
+  Printf.fprintf oc "\n  ]\n}\n";
+  close_out oc
 
 let run () =
   print_newline ();
   print_endline "== Micro-benchmarks (bechamel, monotonic clock) ==";
+  let rows = ref [] in
   let benchmark test =
     let instance = Instance.monotonic_clock in
     let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) () in
@@ -145,8 +245,14 @@ let run () =
     Hashtbl.iter
       (fun name result ->
         match Analyze.OLS.estimates result with
-        | Some [ est ] -> Printf.printf "  %-32s %12.1f ns/run\n%!" name est
-        | Some _ | None -> Printf.printf "  %-32s (no estimate)\n%!" name)
+        | Some [ est ] ->
+            rows := (name, Some est) :: !rows;
+            Printf.printf "  %-32s %12.1f ns/run\n%!" name est
+        | Some _ | None ->
+            rows := (name, None) :: !rows;
+            Printf.printf "  %-32s (no estimate)\n%!" name)
       results
   in
-  List.iter benchmark all_tests
+  List.iter benchmark all_tests;
+  write_json (List.rev !rows);
+  Printf.printf "  wrote %s\n%!" json_path

@@ -1,1 +1,1 @@
-lib/core/runtime.ml: Codec Dcp_net Dcp_rng Dcp_sim Dcp_stable Dcp_wire Format Hashtbl List Message Option Port Port_name Printf Process String Sync Token Transmit Value Vtype
+lib/core/runtime.ml: Codec Dcp_net Dcp_rng Dcp_sim Dcp_stable Dcp_wire Format Hashtbl List Message Option Port Port_name Printf Process Sync Token Transmit Value Vtype

@@ -21,6 +21,7 @@ let ptype t = t.ptype
 let capacity t = t.capacity
 let queued t = Queue.length t.queue
 let is_open t = t.is_open
+let waiter_count t = List.length t.waiters
 
 let rec pop_waiter t =
   match t.waiters with
@@ -73,12 +74,20 @@ let receive engine ~ports ~timeout : outcome =
   | None ->
       Process.suspend (fun resume ->
           let w = { active = true; deliver = (fun _ -> ()) } in
+          (* A waiter registers on every port in the list, but resumes (or
+             times out) exactly once; eagerly drop it from all the other
+             ports then, or quiet ports accumulate dead waiters without
+             bound (heartbeat-style receive loops leak otherwise). *)
+          let deregister () =
+            List.iter (fun p -> p.waiters <- List.filter (fun x -> x != w) p.waiters) ports
+          in
           let timer =
             Option.map
               (fun d ->
                 Engine.schedule_after engine ~delay:d (fun () ->
                     if w.active then begin
                       w.active <- false;
+                      deregister ();
                       resume `Timeout
                     end))
               timeout
@@ -86,5 +95,6 @@ let receive engine ~ports ~timeout : outcome =
           w.deliver <-
             (fun (p, msg) ->
               Option.iter Engine.cancel timer;
+              deregister ();
               resume (`Msg (p, msg)));
           List.iter (fun p -> p.waiters <- p.waiters @ [ w ]) ports)

@@ -29,17 +29,35 @@ let default_config =
     processors_per_node = 8;
   }
 
+(* Metric handles resolved once at world creation so the per-message path
+   (send -> route -> deliver) never does a string-keyed registry lookup. *)
+type hot_metrics = {
+  m_send_total : Metrics.counter;
+  m_send_local : Metrics.counter;
+  m_send_remote : Metrics.counter;
+  m_send_dead : Metrics.counter;
+  m_deliver_ok : Metrics.counter;
+  m_deliver_discarded : Metrics.counter;
+  m_failure_sent : Metrics.counter;
+  m_deliver_unknown_node : Metrics.counter;
+  m_deliver_node_down : Metrics.counter;
+  m_deliver_malformed : Metrics.counter;
+  m_latency_us : Metrics.histogram;
+}
+
 type world = {
   engine : Engine.t;
   network : Network.t;
   config : config;
   registry : Transmit.registry;
   metrics : Metrics.registry;
+  hot : hot_metrics;
   trace : Trace.t;
   sys_rng : Rng.t;  (** secrets, crash tears *)
   workload_rng : Rng.t;  (** handed to user workload generators *)
   nodes : (node_id, node) Hashtbl.t;
   defs : (string, def) Hashtbl.t;
+  guardians_by_def : (string, guardian list ref) Hashtbl.t;  (** newest first *)
   mutable next_guardian_id : int;
   mutable next_port_uid : int;
 }
@@ -49,6 +67,7 @@ and node = {
   world : world;
   mutable up : bool;
   mutable guardians : guardian list;  (** newest first *)
+  gindex : (int, guardian) Hashtbl.t;  (** gid -> guardian, for delivery *)
   mutable crash_count : int;
   mutable cpus : Sync.semaphore;  (** the node's processors (§1.1) *)
 }
@@ -62,6 +81,8 @@ and guardian = {
   mutable galive : bool;
   mutable gports : Port.t list;  (** creation order *)
   gport_index : (int, Port.t) Hashtbl.t;  (** port uid -> port, for delivery *)
+  mutable next_port_index : int;
+      (** monotonic: indices are never reused, even after {!remove_port} *)
   mutable gprocs : Process.t list;
 }
 
@@ -107,12 +128,9 @@ let guardians_at w node_id =
 let guardian_store g = g.gstore
 
 let find_guardians w ~def_name =
-  Hashtbl.fold
-    (fun _ node acc ->
-      List.rev_append
-        (List.filter (fun g -> String.equal g.gdef.def_name def_name) node.guardians)
-        acc)
-    w.nodes []
+  match Hashtbl.find_opt w.guardians_by_def def_name with
+  | None -> []
+  | Some gs -> List.rev !gs
 
 let node_up w node_id =
   match Hashtbl.find_opt w.nodes node_id with None -> false | Some n -> n.up
@@ -136,7 +154,7 @@ let find_port_in g target =
   | Some p when Port_name.equal (Port.name p) target -> Some p
   | Some _ | None -> None
 
-let find_guardian_in node gid = List.find_opt (fun g -> g.gid = gid) node.guardians
+let find_guardian_in node gid = Hashtbl.find_opt node.gindex gid
 
 (* Forward reference so [reject] can send system failure messages through
    the normal routing path without mutual module recursion. *)
@@ -145,11 +163,11 @@ let route_ref :
   ref (fun _ ~from_node:_ ~target:_ _ -> assert false)
 
 let reject w node msg reason =
-  count w "deliver.discarded";
+  Metrics.incr w.hot.m_deliver_discarded;
   tracef w "discard" "%s: %a" reason Message.pp msg;
   match msg.Message.reply_to with
   | Some reply_port when not (Message.is_failure msg) ->
-      count w "failure.sent";
+      Metrics.incr w.hot.m_failure_sent;
       let failure = Message.failure ~reason ~sent_at:(now w) in
       !route_ref w ~from_node:node.node_id ~target:reply_port failure
   | Some _ | None -> ()
@@ -167,24 +185,23 @@ let deliver_message w node target msg =
           | Ok () -> (
               match Port.enqueue port msg with
               | `Delivered | `Queued ->
-                  count w "deliver.ok";
-                  Metrics.observe
-                    (Metrics.histogram w.metrics "latency.message_us")
+                  Metrics.incr w.hot.m_deliver_ok;
+                  Metrics.observe w.hot.m_latency_us
                     (Clock.to_float_us (Clock.diff (now w) msg.Message.sent_at))
               | `Full -> reject w node msg "no room at target port"
               | `Closed -> reject w node msg "target port does not exist")))
 
 let deliver_body w dst_node_id body =
   match Hashtbl.find_opt w.nodes dst_node_id with
-  | None -> count w "deliver.unknown_node"
+  | None -> Metrics.incr w.hot.m_deliver_unknown_node
   | Some node ->
-      if not node.up then count w "deliver.node_down"
+      if not node.up then Metrics.incr w.hot.m_deliver_node_down
       else (
         match Codec.decode ~config:w.config.codec body with
-        | Error _ -> count w "deliver.malformed"
+        | Error _ -> Metrics.incr w.hot.m_deliver_malformed
         | Ok env -> (
             match Message.of_envelope env with
-            | Error _ -> count w "deliver.malformed"
+            | Error _ -> Metrics.incr w.hot.m_deliver_malformed
             | Ok (target, msg) -> deliver_message w node target msg))
 
 (* Route an already-composed message from a node to a target port,
@@ -196,13 +213,13 @@ let route w ~from_node ~target msg =
   | Error e -> raise (Send_failed (Format.asprintf "%a" Codec.pp_error e))
   | Ok body ->
       if target.Port_name.node = from_node then begin
-        count w "send.local";
+        Metrics.incr w.hot.m_send_local;
         ignore
           (Engine.schedule_after w.engine ~delay:w.config.local_delay (fun () ->
                deliver_body w target.Port_name.node body))
       end
       else begin
-        count w "send.remote";
+        Metrics.incr w.hot.m_send_remote;
         Network.send w.network ~src:from_node ~dst:target.Port_name.node body
       end
 
@@ -223,18 +240,36 @@ let create_world ~seed ~topology ?(config = default_config) () =
   let workload_rng = Rng.split root in
   let engine = Engine.create () in
   let network = Network.create ~engine ~rng:net_rng ~topology ~mtu:config.mtu () in
+  let metrics = Metrics.registry () in
+  let hot =
+    {
+      m_send_total = Metrics.counter metrics "send.total";
+      m_send_local = Metrics.counter metrics "send.local";
+      m_send_remote = Metrics.counter metrics "send.remote";
+      m_send_dead = Metrics.counter metrics "send.dead_guardian";
+      m_deliver_ok = Metrics.counter metrics "deliver.ok";
+      m_deliver_discarded = Metrics.counter metrics "deliver.discarded";
+      m_failure_sent = Metrics.counter metrics "failure.sent";
+      m_deliver_unknown_node = Metrics.counter metrics "deliver.unknown_node";
+      m_deliver_node_down = Metrics.counter metrics "deliver.node_down";
+      m_deliver_malformed = Metrics.counter metrics "deliver.malformed";
+      m_latency_us = Metrics.histogram metrics "latency.message_us";
+    }
+  in
   let w =
     {
       engine;
       network;
       config;
       registry = Transmit.registry ();
-      metrics = Metrics.registry ();
+      metrics;
+      hot;
       trace = Trace.create ();
       sys_rng;
       workload_rng;
       nodes = Hashtbl.create 16;
       defs = Hashtbl.create 16;
+      guardians_by_def = Hashtbl.create 16;
       next_guardian_id = 0;
       next_port_uid = 0;
     }
@@ -247,6 +282,7 @@ let create_world ~seed ~topology ?(config = default_config) () =
           world = w;
           up = true;
           guardians = [];
+          gindex = Hashtbl.create 16;
           crash_count = 0;
           cpus = Sync.semaphore engine config.processors_per_node;
         }
@@ -285,6 +321,7 @@ let create_guardian_at w node ~def ~args =
       galive = true;
       gports = [];
       gport_index = Hashtbl.create 8;
+      next_port_index = 0;
       gprocs = [];
     }
   in
@@ -292,8 +329,13 @@ let create_guardian_at w node ~def ~args =
     fresh_port w ~gid ~node_id:node.node_id ~index ~ptype ~capacity
   in
   g.gports <- List.mapi make_port def.provides;
+  g.next_port_index <- List.length g.gports;
   List.iter (fun p -> Hashtbl.replace g.gport_index (Port.name p).Port_name.uid p) g.gports;
   node.guardians <- g :: node.guardians;
+  Hashtbl.replace node.gindex gid g;
+  (match Hashtbl.find_opt w.guardians_by_def def.def_name with
+  | Some gs -> gs := g :: !gs
+  | None -> Hashtbl.replace w.guardians_by_def def.def_name (ref [ g ]));
   count w "guardian.created";
   tracef w "guardian" "created %s#%d at node %d" def.def_name gid node.node_id;
   let ctx = { cworld = w; cguardian = g } in
@@ -410,9 +452,9 @@ let restart_node w node_id =
 let send c ~to_ ?reply_to command args =
   let w = c.cworld in
   let g = c.cguardian in
-  if not g.galive then count w "send.dead_guardian"
+  if not g.galive then Metrics.incr w.hot.m_send_dead
   else begin
-    count w "send.total";
+    Metrics.incr w.hot.m_send_total;
     (* §3.4 step 1: encode the arguments; failures surface at the sender. *)
     (match Transmit.check_named w.registry (Value.list args) with
     | Ok () -> ()
@@ -430,7 +472,11 @@ let receive c ?timeout ports =
   Port.receive c.cworld.engine ~ports ~timeout
 
 let port c index =
-  match List.nth_opt c.cguardian.gports index with
+  (* Look up by the port's own minted index, not list position: positions
+     shift when a port is removed, indices never do. *)
+  match
+    List.find_opt (fun p -> (Port.name p).Port_name.index = index) c.cguardian.gports
+  with
   | Some p -> p
   | None -> invalid_arg (Printf.sprintf "Runtime.port: guardian has no port %d" index)
 
@@ -438,10 +484,9 @@ let new_port c ?capacity ptype =
   let w = c.cworld in
   let g = c.cguardian in
   let capacity = Option.value capacity ~default:w.config.default_port_capacity in
-  let p =
-    fresh_port w ~gid:g.gid ~node_id:g.home.node_id ~index:(List.length g.gports) ~ptype
-      ~capacity
-  in
+  let index = g.next_port_index in
+  g.next_port_index <- index + 1;
+  let p = fresh_port w ~gid:g.gid ~node_id:g.home.node_id ~index ~ptype ~capacity in
   g.gports <- g.gports @ [ p ];
   Hashtbl.replace g.gport_index (Port.name p).Port_name.uid p;
   p

@@ -96,6 +96,8 @@ val guardian_ports : guardian -> Port_name.t list
 
 val guardians_at : world -> node_id -> guardian list
 val find_guardians : world -> def_name:string -> guardian list
+(** Instances of a definition in creation order, O(1) in the number of other
+    guardians (indexed by definition name). *)
 
 val guardian_store : guardian -> Dcp_stable.Store.t
 (** The guardian's stable store, for tests and observability harnesses.
@@ -141,10 +143,14 @@ val receive :
     from it" (§3.2). @raise Invalid_argument otherwise. *)
 
 val port : ctx -> int -> Port.t
-(** The guardian's [i]th port (birth ports first). @raise Invalid_argument. *)
+(** The guardian's port with index [i] (birth ports get 0..n-1).  Indices are
+    stable: removing a port never renumbers the others.
+    @raise Invalid_argument. *)
 
 val new_port : ctx -> ?capacity:int -> Vtype.port_type -> Port.t
-(** Mint a fresh port at runtime — Figure 5's [s: replyport := new port]. *)
+(** Mint a fresh port at runtime — Figure 5's [s: replyport := new port].
+    Port indices are minted from a per-guardian monotonic counter, so a new
+    port never collides with a live port's index even after removals. *)
 
 val remove_port : ctx -> Port.t -> unit
 (** Discard a runtime-minted port (a finished conversation): late messages

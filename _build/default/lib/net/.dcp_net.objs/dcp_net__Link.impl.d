@@ -1,1 +1,1 @@
-lib/net/link.ml: Dcp_rng Dcp_sim Float Int
+lib/net/link.ml: Dcp_rng Dcp_sim Int

@@ -40,7 +40,7 @@ let compose a b =
     base_latency = Clock.add a.base_latency b.base_latency;
     jitter = Clock.add a.jitter b.jitter;
     loss = 1.0 -. ((1.0 -. a.loss) *. (1.0 -. b.loss));
-    duplicate = Float.max a.duplicate b.duplicate;
+    duplicate = 1.0 -. ((1.0 -. a.duplicate) *. (1.0 -. b.duplicate));
     corrupt = 1.0 -. ((1.0 -. a.corrupt) *. (1.0 -. b.corrupt));
     bandwidth =
       (match (a.bandwidth, b.bandwidth) with

@@ -30,7 +30,9 @@ val lossy : float -> t
 
 val compose : t -> t -> t
 (** [compose a b] models a two-hop path through a gateway: latencies add,
-    survival probabilities multiply, bandwidth is the minimum. *)
+    bandwidth is the minimum, and every fault probability (loss, corruption,
+    duplication alike) composes as independent per-hop events:
+    [1 - (1-p_a)(1-p_b)]. *)
 
 (** Outcome of offering one fragment to the link. *)
 type verdict =

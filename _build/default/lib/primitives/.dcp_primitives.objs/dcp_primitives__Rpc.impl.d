@@ -1,1 +1,1 @@
-lib/primitives/rpc.ml: Dcp_core Dcp_sim Dcp_wire Hashtbl List Value Vtype
+lib/primitives/rpc.ml: Dcp_core Dcp_sim Dcp_wire Hashtbl List Queue Value Vtype

@@ -38,53 +38,49 @@ let call ctx ~to_ ?(timeout = Clock.s 1) ?(attempts = 1) ?request_id command arg
   in
   let rec attempt remaining =
     Runtime.send ctx ~to_ ~reply_to:(Port.name any_port) command (Value.int id :: args);
-    let deadline_outcome = Runtime.receive ctx ~timeout [ any_port ] in
-    match deadline_outcome with
-    | `Timeout -> if remaining > 1 then attempt (remaining - 1) else finish Timeout
-    | `Msg (_, msg) -> (
-        match (msg.Message.command, msg.Message.args) with
-        | "failure", [ Value.Str reason ] ->
-            if remaining > 1 then attempt (remaining - 1) else finish (Failure_msg reason)
-        | reply_command, Value.Int rid :: rest when rid = id ->
-            finish (Reply (reply_command, rest))
-        | _ ->
-            (* A stale response to a different request id: ignore it and
-               keep waiting within this attempt's budget. *)
-            wait_more remaining)
-  and wait_more remaining =
-    match Runtime.receive ctx ~timeout [ any_port ] with
-    | `Timeout -> if remaining > 1 then attempt (remaining - 1) else finish Timeout
-    | `Msg (_, msg) -> (
-        match (msg.Message.command, msg.Message.args) with
-        | "failure", [ Value.Str reason ] ->
-            if remaining > 1 then attempt (remaining - 1) else finish (Failure_msg reason)
-        | reply_command, Value.Int rid :: rest when rid = id ->
-            finish (Reply (reply_command, rest))
-        | _ -> wait_more remaining)
+    (* One deadline per attempt: stale replies consume the remaining budget
+       instead of restarting it, so a flood of strays cannot stretch an
+       attempt beyond [timeout]. *)
+    let deadline = Clock.add (Runtime.ctx_now ctx) timeout in
+    wait_until deadline remaining
+  and wait_until deadline remaining =
+    let budget = Clock.diff deadline (Runtime.ctx_now ctx) in
+    if Clock.compare budget Clock.zero <= 0 then retry_or ~remaining Timeout
+    else
+      match Runtime.receive ctx ~timeout:budget [ any_port ] with
+      | `Timeout -> retry_or ~remaining Timeout
+      | `Msg (_, msg) -> (
+          match (msg.Message.command, msg.Message.args) with
+          | "failure", [ Value.Str reason ] -> retry_or ~remaining (Failure_msg reason)
+          | reply_command, Value.Int rid :: rest when rid = id ->
+              finish (Reply (reply_command, rest))
+          | _ ->
+              (* A stale response to a different request id: ignore it and
+                 keep waiting within this attempt's remaining budget. *)
+              wait_until deadline remaining)
+  and retry_or ~remaining outcome =
+    if remaining > 1 then attempt (remaining - 1) else finish outcome
   in
   attempt attempts
 
 type dedup = {
   capacity : int;
   table : (int, string * Value.t list) Hashtbl.t;
-  mutable order : int list;  (** insertion order, oldest last *)
+  order : int Queue.t;  (** insertion order, oldest first — O(1) eviction *)
 }
 
 let dedup ?(capacity = 1024) () =
   if capacity <= 0 then invalid_arg "Rpc.dedup: capacity must be positive";
-  { capacity; table = Hashtbl.create 64; order = [] }
+  { capacity; table = Hashtbl.create 64; order = Queue.create () }
 
 let remember d id response =
   if not (Hashtbl.mem d.table id) then begin
     Hashtbl.replace d.table id response;
-    d.order <- id :: d.order;
-    if List.length d.order > d.capacity then begin
-      match List.rev d.order with
-      | oldest :: _ ->
-          Hashtbl.remove d.table oldest;
-          d.order <- List.filter (fun i -> i <> oldest) d.order
-      | [] -> ()
-    end
+    Queue.add id d.order;
+    if Queue.length d.order > d.capacity then
+      match Queue.take_opt d.order with
+      | Some oldest -> Hashtbl.remove d.table oldest
+      | None -> ()
   end
 
 let split_request msg =

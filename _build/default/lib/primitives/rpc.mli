@@ -35,7 +35,9 @@ val call :
   Value.t list ->
   response
 (** Blocking remote invocation.  [attempts] (default 1) is the total number
-    of tries; [timeout] (default 1 s virtual) applies per try.  Responses to
+    of tries; [timeout] (default 1 s virtual) applies per try, as a hard
+    deadline from the moment the try's request is sent — stale replies to
+    other request ids are discarded without extending it.  Responses to
     earlier tries are accepted — any response to this request id settles the
     call.  [request_id] overrides the generated id: callers that must stay
     idempotent *across their own crashes* (they re-issue the call after

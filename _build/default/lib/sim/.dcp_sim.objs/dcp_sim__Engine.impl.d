@@ -1,1 +1,1 @@
-lib/sim/engine.ml: Clock Heap Int List
+lib/sim/engine.ml: Clock Heap Int

@@ -1,1 +1,1 @@
-lib/sim/metrics.ml: Array Float Format List
+lib/sim/metrics.ml: Array Float Format Hashtbl List

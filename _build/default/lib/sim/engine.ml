@@ -3,13 +3,15 @@ type timer = {
   seq : int;
   action : unit -> unit;
   mutable cancelled : bool;
+  mutable fired : bool;
+  owner : t;
 }
 
-type t = {
+and t = {
   mutable clock : Clock.time;
-  mutable seq : int;
+  mutable next_seq : int;
   mutable executed : int;
-  mutable live : int;
+  mutable live : int;  (** scheduled, not yet fired or cancelled *)
   queue : timer Heap.t;
 }
 
@@ -18,26 +20,31 @@ let compare_timer a b =
   if c <> 0 then c else Int.compare a.seq b.seq
 
 let create () =
-  { clock = Clock.zero; seq = 0; executed = 0; live = 0; queue = Heap.create ~cmp:compare_timer }
+  { clock = Clock.zero; next_seq = 0; executed = 0; live = 0; queue = Heap.create ~cmp:compare_timer }
 
 let now t = t.clock
 
 let schedule t ~at action =
   let at = if Clock.compare at t.clock < 0 then t.clock else at in
-  let timer = { time = at; seq = t.seq; action; cancelled = false } in
-  t.seq <- t.seq + 1;
+  let timer = { time = at; seq = t.next_seq; action; cancelled = false; fired = false; owner = t } in
+  t.next_seq <- t.next_seq + 1;
   t.live <- t.live + 1;
   Heap.push t.queue timer;
   timer
 
 let schedule_after t ~delay action = schedule t ~at:(Clock.add t.clock delay) action
 
-let cancel timer = timer.cancelled <- true
+let cancel timer =
+  if not (timer.cancelled || timer.fired) then begin
+    timer.cancelled <- true;
+    timer.owner.live <- timer.owner.live - 1
+  end
+
 let is_cancelled timer = timer.cancelled
 
-let pending t =
-  (* [live] over-counts cancelled-but-unpopped timers, so walk the heap. *)
-  List.length (List.filter (fun e -> not e.cancelled) (Heap.to_list t.queue))
+(* [live] is kept exact by [schedule]/[cancel]/[step], so this is O(1);
+   cancelled timers still occupy the heap until popped but are not counted. *)
+let pending t = t.live
 
 let rec step t =
   match Heap.pop t.queue with
@@ -45,6 +52,8 @@ let rec step t =
   | Some ev ->
       if ev.cancelled then step t
       else begin
+        ev.fired <- true;
+        t.live <- t.live - 1;
         t.clock <- ev.time;
         t.executed <- t.executed + 1;
         ev.action ();

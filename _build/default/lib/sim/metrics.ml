@@ -13,30 +13,46 @@ type histogram = {
   mutable maximum : float;
 }
 
+(* Each instrument family is a Hashtbl (O(1) get-or-create, so hot paths
+   may look instruments up by name without a registry scan) plus a
+   newest-first name list that preserves creation order for reports. *)
 type registry = {
-  mutable counter_tbl : (string * counter) list;
-  mutable gauge_tbl : (string * gauge) list;
-  mutable hist_tbl : (string * histogram) list;
+  counter_tbl : (string, counter) Hashtbl.t;
+  mutable counter_order : string list;
+  gauge_tbl : (string, gauge) Hashtbl.t;
+  mutable gauge_order : string list;
+  hist_tbl : (string, histogram) Hashtbl.t;
+  mutable hist_order : string list;
 }
 
-let registry () = { counter_tbl = []; gauge_tbl = []; hist_tbl = [] }
+let registry () =
+  {
+    counter_tbl = Hashtbl.create 64;
+    counter_order = [];
+    gauge_tbl = Hashtbl.create 16;
+    gauge_order = [];
+    hist_tbl = Hashtbl.create 16;
+    hist_order = [];
+  }
 
-let get_or_add assoc name make update =
-  match List.assoc_opt name assoc with
+let get_or_add tbl name make note =
+  match Hashtbl.find_opt tbl name with
   | Some v -> v
   | None ->
       let v = make () in
-      update ((name, v) :: assoc);
+      Hashtbl.replace tbl name v;
+      note name;
       v
 
 let counter r name =
-  get_or_add r.counter_tbl name (fun () -> { c = 0 }) (fun l -> r.counter_tbl <- l)
+  get_or_add r.counter_tbl name (fun () -> { c = 0 }) (fun n -> r.counter_order <- n :: r.counter_order)
 
 let incr c = c.c <- c.c + 1
 let add c n = c.c <- c.c + n
 let count c = c.c
 
-let gauge r name = get_or_add r.gauge_tbl name (fun () -> { g = 0.0 }) (fun l -> r.gauge_tbl <- l)
+let gauge r name =
+  get_or_add r.gauge_tbl name (fun () -> { g = 0.0 }) (fun n -> r.gauge_order <- n :: r.gauge_order)
 let set_gauge g x = g.g <- x
 let gauge_value g = g.g
 
@@ -52,7 +68,8 @@ let make_histogram () =
     maximum = neg_infinity;
   }
 
-let histogram r name = get_or_add r.hist_tbl name make_histogram (fun l -> r.hist_tbl <- l)
+let histogram r name =
+  get_or_add r.hist_tbl name make_histogram (fun n -> r.hist_order <- n :: r.hist_order)
 
 let bucket_index h x = if x <= 1.0 then 0 else 1 + int_of_float (log x /. h.log_growth)
 
@@ -98,9 +115,9 @@ let quantile h q =
     walk 0 0
   end
 
-let counters r = List.rev_map (fun (name, c) -> (name, c.c)) r.counter_tbl
-let gauges r = List.rev_map (fun (name, g) -> (name, g.g)) r.gauge_tbl
-let histograms r = List.rev r.hist_tbl
+let counters r = List.rev_map (fun name -> (name, (Hashtbl.find r.counter_tbl name).c)) r.counter_order
+let gauges r = List.rev_map (fun name -> (name, (Hashtbl.find r.gauge_tbl name).g)) r.gauge_order
+let histograms r = List.rev_map (fun name -> (name, Hashtbl.find r.hist_tbl name)) r.hist_order
 
 let pp_report fmt r =
   List.iter (fun (name, v) -> Format.fprintf fmt "counter %-40s %d@." name v) (counters r);

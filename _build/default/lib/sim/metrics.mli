@@ -4,7 +4,10 @@
     in exponentially sized buckets (HDR-style, 5% resolution) so latency
     distributions over nine orders of magnitude stay cheap; quantiles are
     estimated at bucket midpoints.  A {!registry} groups the instruments a
-    scenario creates so a report can render them all at once. *)
+    scenario creates so a report can render them all at once.  Get-or-create
+    by name is O(1) (hashed), so per-message code may look instruments up by
+    name — though hot paths should still resolve the handle once and reuse
+    it.  Reports list instruments in creation order. *)
 
 type counter
 type gauge

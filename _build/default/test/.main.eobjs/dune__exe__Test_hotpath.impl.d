@@ -1,0 +1,1 @@
+test/test_hotpath.ml: Alcotest Dcp_core Dcp_net Dcp_primitives Dcp_sim Dcp_wire Format Hashtbl List Option Port_name Printf String Value Vtype

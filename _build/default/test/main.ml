@@ -24,6 +24,7 @@ let () =
       ("two_phase", Test_two_phase.tests);
       ("acl", Test_acl.tests);
       ("office", Test_office.tests);
+      ("hotpath", Test_hotpath.tests);
       ("chaos", Test_chaos.tests);
       ("fuzz", Test_fuzz.tests);
       ("misc", Test_misc.tests);

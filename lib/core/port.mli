@@ -24,6 +24,12 @@ val capacity : t -> int
 val queued : t -> int
 val is_open : t -> bool
 
+val waiter_count : t -> int
+(** Processes currently registered as blocked receivers on this port.  A
+    waiter that resumed via another port or timed out is deregistered
+    immediately, so this is bounded by the number of blocked processes
+    (observability for tests). *)
+
 val enqueue : t -> Message.t -> [ `Delivered | `Queued | `Full | `Closed ]
 (** [`Delivered] means a blocked receiver took the message directly. *)
 

@@ -14,16 +14,29 @@ type stats = {
   bytes_sent : int;
 }
 
-let empty_stats =
+(* Internal tallies are mutable fields: the fragment path bumps several per
+   send, and a functional record update there allocates per fragment. *)
+type tallies = {
+  mutable t_messages_sent : int;
+  mutable t_messages_delivered : int;
+  mutable t_fragments_sent : int;
+  mutable t_fragments_lost : int;
+  mutable t_fragments_corrupted : int;
+  mutable t_fragments_duplicated : int;
+  mutable t_partition_drops : int;
+  mutable t_bytes_sent : int;
+}
+
+let fresh_tallies () =
   {
-    messages_sent = 0;
-    messages_delivered = 0;
-    fragments_sent = 0;
-    fragments_lost = 0;
-    fragments_corrupted = 0;
-    fragments_duplicated = 0;
-    partition_drops = 0;
-    bytes_sent = 0;
+    t_messages_sent = 0;
+    t_messages_delivered = 0;
+    t_fragments_sent = 0;
+    t_fragments_lost = 0;
+    t_fragments_corrupted = 0;
+    t_fragments_duplicated = 0;
+    t_partition_drops = 0;
+    t_bytes_sent = 0;
   }
 
 type t = {
@@ -38,7 +51,7 @@ type t = {
   reassembly : (node_id, Packet.Reassembly.t) Hashtbl.t;
   mutable groups : node_id list list option;
   mutable next_msg_id : int;
-  mutable stats : stats;
+  mutable tallies : tallies;
 }
 
 let create ~engine ~rng ~topology ?(mtu = 1024) ?(queueing = false) () =
@@ -54,7 +67,7 @@ let create ~engine ~rng ~topology ?(mtu = 1024) ?(queueing = false) () =
     reassembly = Hashtbl.create 16;
     groups = None;
     next_msg_id = 0;
-    stats = empty_stats;
+    tallies = fresh_tallies ();
   }
 
 let engine t = t.engine
@@ -92,9 +105,9 @@ let deliver_fragment t frag =
   (* Re-check the partition at arrival time: packets in flight when a
      partition forms are lost, like packets on a cut wire. *)
   if partitioned t ~src:frag.Packet.src ~dst:frag.Packet.dst then
-    t.stats <- { t.stats with partition_drops = t.stats.partition_drops + 1 }
+    t.tallies.t_partition_drops <- t.tallies.t_partition_drops + 1
   else if not (Packet.intact frag) then
-    t.stats <- { t.stats with fragments_corrupted = t.stats.fragments_corrupted + 1 }
+    t.tallies.t_fragments_corrupted <- t.tallies.t_fragments_corrupted + 1
   else begin
     let r = reassembly_for t frag.Packet.dst in
     match Packet.Reassembly.offer r ~now:(Engine.now t.engine) frag with
@@ -103,14 +116,14 @@ let deliver_fragment t frag =
         match Hashtbl.find_opt t.handlers frag.Packet.dst with
         | None -> ()
         | Some handler ->
-            t.stats <- { t.stats with messages_delivered = t.stats.messages_delivered + 1 };
+            t.tallies.t_messages_delivered <- t.tallies.t_messages_delivered + 1;
             handler ~src body)
   end
 
 let send t ~src ~dst body =
-  t.stats <- { t.stats with messages_sent = t.stats.messages_sent + 1 };
+  t.tallies.t_messages_sent <- t.tallies.t_messages_sent + 1;
   if partitioned t ~src ~dst then
-    t.stats <- { t.stats with partition_drops = t.stats.partition_drops + 1 }
+    t.tallies.t_partition_drops <- t.tallies.t_partition_drops + 1
   else begin
     let msg_id = t.next_msg_id in
     t.next_msg_id <- t.next_msg_id + 1;
@@ -134,15 +147,11 @@ let send t ~src ~dst body =
     let include_serialization = not (t.queueing && link.Link.bandwidth <> None) in
     let transmit_one frag =
       let size = Packet.wire_size frag in
-      t.stats <-
-        {
-          t.stats with
-          fragments_sent = t.stats.fragments_sent + 1;
-          bytes_sent = t.stats.bytes_sent + size;
-        };
+      t.tallies.t_fragments_sent <- t.tallies.t_fragments_sent + 1;
+      t.tallies.t_bytes_sent <- t.tallies.t_bytes_sent + size;
       let extra = queueing_delay size in
       match Link.transmit link ~include_serialization t.rng ~size with
-      | Link.Drop -> t.stats <- { t.stats with fragments_lost = t.stats.fragments_lost + 1 }
+      | Link.Drop -> t.tallies.t_fragments_lost <- t.tallies.t_fragments_lost + 1
       | Link.Corrupt_deliver delay ->
           let damaged = Packet.corrupt t.rng frag in
           ignore
@@ -150,8 +159,7 @@ let send t ~src ~dst body =
                  deliver_fragment t damaged))
       | Link.Deliver delays ->
           if List.length delays > 1 then
-            t.stats <-
-              { t.stats with fragments_duplicated = t.stats.fragments_duplicated + 1 };
+            t.tallies.t_fragments_duplicated <- t.tallies.t_fragments_duplicated + 1;
           List.iter
             (fun delay ->
               ignore
@@ -162,5 +170,16 @@ let send t ~src ~dst body =
     List.iter transmit_one fragments
   end
 
-let stats t = t.stats
-let reset_stats t = t.stats <- empty_stats
+let stats t =
+  {
+    messages_sent = t.tallies.t_messages_sent;
+    messages_delivered = t.tallies.t_messages_delivered;
+    fragments_sent = t.tallies.t_fragments_sent;
+    fragments_lost = t.tallies.t_fragments_lost;
+    fragments_corrupted = t.tallies.t_fragments_corrupted;
+    fragments_duplicated = t.tallies.t_fragments_duplicated;
+    partition_drops = t.tallies.t_partition_drops;
+    bytes_sent = t.tallies.t_bytes_sent;
+  }
+
+let reset_stats t = t.tallies <- fresh_tallies ()
