@@ -471,3 +471,23 @@ let create world ~at ~flight ~capacity ?waitlist_capacity ?organization ?service
   fst
     (create_with_admin world ~at ~flight ~capacity ?waitlist_capacity ?organization
        ?service_time ?accounting ())
+
+(* External, read-only view of a flight store's seat ledger, keyed the way
+   the store is.  Invariant oracles (Dcp_check) consume this instead of
+   re-parsing the key format themselves.  (Kept at the end of the module:
+   its field names overlap the internal seat-table record's.) *)
+type ledger = {
+  reserved : (int * string) list;
+  waitlisted : (int * string) list;
+  open_holds : int;
+}
+
+let ledger_of_store store =
+  let reserved = ref [] and waitlisted = ref [] and open_holds = ref 0 in
+  Store.fold store ~init:() ~f:(fun ~key _value () ->
+      match String.split_on_char ':' key with
+      | [ "r"; date; passenger ] -> reserved := (int_of_string date, passenger) :: !reserved
+      | [ "w"; date; passenger ] -> waitlisted := (int_of_string date, passenger) :: !waitlisted
+      | [ "h"; _txid ] -> incr open_holds
+      | _ -> ());
+  { reserved = !reserved; waitlisted = !waitlisted; open_holds = !open_holds }

@@ -26,6 +26,18 @@ open Dcp_wire
 
 val def_name : string
 
+(** Read-only parse of a flight guardian's stable store: who holds a seat
+    or waitlist slot on each date, and how many transactional holds are
+    still open.  This is the surface the {!Dcp_check} seat-ledger and
+    2PC-atomicity oracles audit. *)
+type ledger = {
+  reserved : (int * string) list;  (** (date, passenger) with a seat *)
+  waitlisted : (int * string) list;
+  open_holds : int;  (** 2PC holds not yet committed or aborted *)
+}
+
+val ledger_of_store : Dcp_stable.Store.t -> ledger
+
 val def : Dcp_core.Runtime.def
 (** Register once per world.  Creation arguments (as message values):
     [\[Int flight_no; Int capacity; Int waitlist_capacity; Str organization;

@@ -89,11 +89,27 @@ let book_naive ctx directory ~passenger legs =
   in
   go 0 legs
 
+(* A coordinator that logged a decision but exhausted its ack rounds (the
+   participant was down or partitioned for every round) leaves that
+   participant prepared — holding seats — until somebody re-announces.
+   Recovery covers the crash case; this covers the no-crash case: whenever
+   the intake loop idles, re-announce any still-unacked decisions from a
+   side process so prepared participants are eventually released. *)
+let redeliver_when_idle ctx redelivering =
+  if (not !redelivering) && Two_phase.pending_decisions (Runtime.store ctx) > 0 then begin
+    redelivering := true;
+    ignore
+      (Runtime.spawn ctx ~name:"redeliver" (fun () ->
+           ignore (Two_phase.redeliver_decisions ctx);
+           redelivering := false))
+  end
+
 let serve ctx directory =
   let request_port = Runtime.port ctx 0 in
+  let redelivering = ref false in
   let rec loop () =
-    (match Runtime.receive ctx [ request_port ] with
-    | `Timeout -> ()
+    (match Runtime.receive ctx ~timeout:(Clock.s 2) [ request_port ] with
+    | `Timeout -> redeliver_when_idle ctx redelivering
     | `Msg (_, msg) -> (
         match (msg.Message.command, msg.Message.args, msg.Message.reply_to) with
         | "book_trip", [ Value.Int id; Value.Str passenger; Value.Listv legs ], reply ->

@@ -111,6 +111,24 @@ let serve ctx =
   in
   loop ()
 
+(* Read-only store accessors for audit/oracle code: the key formats stay
+   private to this module. *)
+let balance_in_store store ~account = get_balance store account
+
+let total_in_store store =
+  Store.fold store ~init:0 ~f:(fun ~key value acc ->
+      if String.length key > 2 && String.equal (String.sub key 0 2) "a:" then
+        acc + int_of_string value
+      else acc)
+
+let recorded_response store ~request_id =
+  match Store.get store ~key:(response_key request_id) with
+  | None -> None
+  | Some recorded -> (
+      match Codec.decode_exn recorded with
+      | Value.Tuple [ Value.Str command; Value.Listv _ ] -> Some command
+      | _ -> Some "corrupt")
+
 let def : Runtime.def =
   {
     Runtime.def_name;

@@ -37,3 +37,18 @@ val create :
   unit ->
   Port_name.t
 (** Create a branch seeded with [(account, opening balance)] pairs. *)
+
+(** {1 Oracle accessors}
+
+    Read-only views over a (recovered) branch store, so audit and
+    model-checking code never parses the store's key format itself. *)
+
+val balance_in_store : Dcp_stable.Store.t -> account:string -> int option
+
+val total_in_store : Dcp_stable.Store.t -> int
+(** Sum of all account balances held in the store. *)
+
+val recorded_response : Dcp_stable.Store.t -> request_id:int -> string option
+(** The reply command the branch durably recorded for a mutating request
+    id ([None] if the request never executed) — the ground truth a model
+    oracle replays to learn which transfer steps actually committed. *)

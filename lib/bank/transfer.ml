@@ -84,6 +84,9 @@ let step_id tid = function
   | Depositing -> 3_000_000_000 + (tid * 4) + 1
   | Refunding -> 3_000_000_000 + (tid * 4) + 2
 
+let step_request_ids ~tid =
+  (step_id tid Withdrawing, step_id tid Depositing, step_id tid Refunding)
+
 let set_stage ctx r stage =
   let r = { r with stage } in
   Store.set (Runtime.store ctx) ~key:(record_key r.tid) (encode_record r);

@@ -38,3 +38,9 @@ val create :
 val incomplete_transfers : Dcp_core.Runtime.world -> int
 (** Transfers currently logged as in flight across all coordinators
     (0 once everything has settled) — used by conservation tests. *)
+
+val step_request_ids : tid:int -> int * int * int
+(** The (withdraw, deposit, refund) request ids the coordinator derives
+    from transfer [tid].  These key the branches' stable response records,
+    so an oracle can reconstruct the ground-truth commit decision of every
+    settled transfer from the branch stores alone. *)

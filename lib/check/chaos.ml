@@ -1,0 +1,47 @@
+module Clock = Dcp_sim.Clock
+module Runtime = Dcp_core.Runtime
+module Engine = Dcp_sim.Engine
+module Rng = Dcp_rng.Rng
+
+let driver world ~at ~name body =
+  let def =
+    { Runtime.def_name = name; provides = []; init = (fun ctx _ -> body ctx); recover = None }
+  in
+  Runtime.register_def world def;
+  ignore (Runtime.create_guardian world ~at ~def_name:name ~args:[])
+
+(* Schedule random crash/restart cycles on the given nodes over a horizon;
+   outages last [crash_outage]; never crash two nodes at once (the
+   invariants hold even for correlated failures, but single-node churn
+   exercises the recovery paths harder per unit of virtual time). *)
+let schedule_crashes world ~rng ~profile ~nodes ~horizon =
+  match (profile.Profile.crash_every, nodes) with
+  | None, _ | _, [] -> ()
+  | Some every, _ :: _ ->
+      let outage = profile.Profile.crash_outage in
+      let engine = Runtime.engine world in
+      let jitter = Int.max 1 (every / 2) in
+      let rec plan at =
+        if at < horizon then begin
+          let jittered = at + Rng.int rng jitter in
+          ignore
+            (Engine.schedule engine ~at:jittered (fun () ->
+                 let victim = Rng.choice_list rng nodes in
+                 if Runtime.node_up world victim then begin
+                   Runtime.crash_node world victim;
+                   ignore
+                     (Engine.schedule_after engine ~delay:outage (fun () ->
+                          Runtime.restart_node world victim))
+                 end));
+          plan (at + every)
+        end
+      in
+      plan every;
+      (* Whatever the interleaving, leave no node down past the horizon. *)
+      ignore
+        (Engine.schedule engine
+           ~at:(horizon + outage + Clock.s 1)
+           (fun () ->
+             List.iter
+               (fun node -> if not (Runtime.node_up world node) then Runtime.restart_node world node)
+               nodes))

@@ -1,0 +1,232 @@
+module Runtime = Dcp_core.Runtime
+module Store = Dcp_stable.Store
+module Branch = Dcp_bank.Branch
+module Transfer = Dcp_bank.Transfer
+module Flight = Dcp_airline.Flight
+
+type t = {
+  name : string;
+  check : Runtime.world -> (unit, string) result;
+}
+
+let check_all oracles world =
+  List.fold_left
+    (fun acc oracle ->
+      match acc with
+      | Error _ -> acc
+      | Ok () -> (
+          match oracle.check world with
+          | Ok () -> Ok ()
+          | Error reason -> Error (Printf.sprintf "%s: %s" oracle.name reason)))
+    (Ok ()) oracles
+
+let ( let* ) = Result.bind
+
+(* Every guardian of the definition, with its store, failing if any store
+   is still crashed: oracles run after the chaos schedule has restored all
+   nodes, so a crashed store means the scenario ended mid-outage. *)
+let live_stores world ~def_name =
+  let stores =
+    List.map (fun g -> Runtime.guardian_store g) (Runtime.find_guardians world ~def_name)
+  in
+  if List.exists Store.is_crashed stores then
+    Error (Printf.sprintf "a %s store is still crashed at check time" def_name)
+  else Ok stores
+
+(* ---- bank ---- *)
+
+type bank_transfer = {
+  tid : int;
+  from_branch : int;
+  from_account : string;
+  to_branch : int;
+  to_account : string;
+  amount : int;
+  mutable observed : string;
+}
+
+let bank_quiescent =
+  {
+    name = "bank_quiescent";
+    check =
+      (fun world ->
+        match Transfer.incomplete_transfers world with
+        | 0 -> Ok ()
+        | n -> Error (Printf.sprintf "%d transfer sagas still open" n));
+  }
+
+let bank_conservation ~expected_total =
+  {
+    name = "bank_conservation";
+    check =
+      (fun world ->
+        let* stores = live_stores world ~def_name:Branch.def_name in
+        let total = List.fold_left (fun acc s -> acc + Branch.total_in_store s) 0 stores in
+        if total = expected_total then Ok ()
+        else Error (Printf.sprintf "balances sum to %d, expected %d" total expected_total));
+  }
+
+(* Ground truth for one transfer, replayed from the branches' durable
+   response records. *)
+type commit_decision = Untouched | Committed | Refunded | Lost of string
+
+let decision stores entry =
+  let withdraw_id, deposit_id, refund_id = Transfer.step_request_ids ~tid:entry.tid in
+  let response branch request_id = Branch.recorded_response stores.(branch) ~request_id in
+  match response entry.from_branch withdraw_id with
+  | None -> Untouched  (* the request never reached the source branch *)
+  | Some "ok" -> (
+      match response entry.to_branch deposit_id with
+      | Some "ok" -> Committed
+      | _ -> (
+          match response entry.from_branch refund_id with
+          | Some "ok" -> Refunded
+          | _ ->
+              Lost
+                (Printf.sprintf "transfer %d: withdraw committed but neither deposit nor refund did"
+                   entry.tid)))
+  | Some _ -> Untouched  (* insufficient / no_account: nothing was applied *)
+
+let bank_model ~initial ~ledger ?(model_skips = 0) () =
+  {
+    name = "bank_model";
+    check =
+      (fun world ->
+        let* stores = live_stores world ~def_name:Branch.def_name in
+        let stores = Array.of_list stores in
+        let model = Hashtbl.create 16 in
+        List.iter (fun (branch, account, opening) -> Hashtbl.replace model (branch, account) opening) initial;
+        let entries = List.rev !ledger in  (* the driver prepends; replay in issue order *)
+        let apply entry =
+          let adjust branch account delta =
+            let key = (branch, account) in
+            let balance = Option.value (Hashtbl.find_opt model key) ~default:0 in
+            Hashtbl.replace model key (balance + delta)
+          in
+          adjust entry.from_branch entry.from_account (-entry.amount);
+          adjust entry.to_branch entry.to_account entry.amount
+        in
+        let rec replay i = function
+          | [] -> Ok ()
+          | entry :: rest -> (
+              match decision stores entry with
+              | Lost reason -> Error reason
+              | Untouched ->
+                  if String.equal entry.observed "ok" then
+                    Error (Printf.sprintf "transfer %d acked ok but never committed" entry.tid)
+                  else replay (i + 1) rest
+              | Refunded -> replay (i + 1) rest
+              | Committed ->
+                  if String.equal entry.observed "insufficient" then
+                    Error (Printf.sprintf "transfer %d acked insufficient but committed" entry.tid)
+                  else begin
+                    if i >= model_skips then apply entry;
+                    replay (i + 1) rest
+                  end)
+        in
+        let* () = replay 0 entries in
+        Hashtbl.fold
+          (fun (branch, account) expected acc ->
+            let* () = acc in
+            match Branch.balance_in_store stores.(branch) ~account with
+            | Some actual when actual = expected -> Ok ()
+            | Some actual ->
+                Error
+                  (Printf.sprintf "branch %d account %s holds %d, model says %d" branch account
+                     actual expected)
+            | None -> Error (Printf.sprintf "branch %d account %s missing" branch account))
+          model (Ok ()));
+  }
+
+(* ---- airline ---- *)
+
+let group_by_date pairs =
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun (date, passenger) ->
+      let existing = Option.value (Hashtbl.find_opt table date) ~default:[] in
+      Hashtbl.replace table date (passenger :: existing))
+    pairs;
+  table
+
+let airline_seat_ledger ~capacity ~waitlist_capacity =
+  {
+    name = "airline_seat_ledger";
+    check =
+      (fun world ->
+        let flights = Runtime.find_guardians world ~def_name:Flight.def_name in
+        List.fold_left
+          (fun acc g ->
+            let* () = acc in
+            let store = Runtime.guardian_store g in
+            if Store.is_crashed store then Ok ()  (* mid-outage stores are checked next run *)
+            else begin
+              let ledger = Flight.ledger_of_store store in
+              let check_dates table bound what dedup =
+                Hashtbl.fold
+                  (fun date passengers acc ->
+                    let* () = acc in
+                    if List.length passengers > bound then
+                      Error
+                        (Printf.sprintf "flight %d date %d %s: %d of %d" (Runtime.guardian_id g)
+                           date what (List.length passengers) bound)
+                    else if
+                      dedup
+                      && List.length (List.sort_uniq String.compare passengers)
+                         <> List.length passengers
+                    then Error (Printf.sprintf "flight %d date %d has a duplicated passenger"
+                                  (Runtime.guardian_id g) date)
+                    else Ok ())
+                  table (Ok ())
+              in
+              let* () = check_dates (group_by_date ledger.Flight.reserved) capacity "overbooked" true in
+              check_dates (group_by_date ledger.Flight.waitlisted) waitlist_capacity
+                "waitlist overflow" false
+            end)
+          (Ok ()) flights);
+  }
+
+let itinerary_atomicity ~outcomes =
+  {
+    name = "itinerary_atomicity";
+    check =
+      (fun world ->
+        let* stores = live_stores world ~def_name:Flight.def_name in
+        let ledgers = List.map Flight.ledger_of_store stores in
+        let passenger_sets =
+          List.map
+            (fun ledger ->
+              let set = Hashtbl.create 32 in
+              List.iter (fun (_date, p) -> Hashtbl.replace set p ()) ledger.Flight.reserved;
+              set)
+            ledgers
+        in
+        (* all-or-nothing: a passenger seen on any flight must be on all *)
+        let* () =
+          List.fold_left
+            (fun acc set ->
+              let* () = acc in
+              Hashtbl.fold
+                (fun passenger () acc ->
+                  let* () = acc in
+                  if List.for_all (fun other -> Hashtbl.mem other passenger) passenger_sets then
+                    Ok ()
+                  else Error (Printf.sprintf "%s holds some legs but not all" passenger))
+                set (Ok ()))
+            (Ok ()) passenger_sets
+        in
+        (* every client told "booked" really holds its seats *)
+        let* () =
+          List.fold_left
+            (fun acc (passenger, outcome) ->
+              let* () = acc in
+              if
+                String.equal outcome "booked"
+                && not (List.for_all (fun set -> Hashtbl.mem set passenger) passenger_sets)
+              then Error (Printf.sprintf "%s was told booked but holds no seat" passenger)
+              else Ok ())
+            (Ok ()) !outcomes
+        in
+        let holds = List.fold_left (fun acc l -> acc + l.Flight.open_holds) 0 ledgers in
+        if holds = 0 then Ok () else Error (Printf.sprintf "%d dangling holds" holds));
+  }

@@ -1,0 +1,56 @@
+module Clock = Dcp_sim.Clock
+module Link = Dcp_net.Link
+
+type t = {
+  name : string;
+  link : Link.t;
+  crash_every : Clock.time option;
+  crash_outage : Clock.time;
+}
+
+let base_links =
+  [
+    ("perfect", Link.perfect);
+    ("lan", Link.lan);
+    ("wan", Link.wan);
+    ("lossy", Link.lossy 0.05);
+  ]
+
+let calm name link = { name; link; crash_every = None; crash_outage = Clock.zero }
+
+let churning name link =
+  { name = name ^ "+crash"; link; crash_every = Some (Clock.ms 700); crash_outage = Clock.ms 400 }
+
+let all =
+  List.map (fun (name, link) -> calm name link) base_links
+  @ List.map (fun (name, link) -> churning name link) base_links
+
+let names = List.map (fun p -> p.name) all
+let find name = List.find_opt (fun p -> String.equal p.name name) all
+
+let scale t ~intensity =
+  let intensity = Float.min 1.0 (Float.max 0.0 intensity) in
+  if intensity = 1.0 then t
+  else
+    let link =
+      {
+        t.link with
+        Link.loss = t.link.Link.loss *. intensity;
+        duplicate = t.link.Link.duplicate *. intensity;
+        corrupt = t.link.Link.corrupt *. intensity;
+      }
+    in
+    let crash_every =
+      match t.crash_every with
+      | None -> None
+      | Some _ when intensity = 0.0 -> None
+      | Some every -> Some (int_of_float (float_of_int every /. intensity))
+    in
+    { t with link; crash_every }
+
+let pp ppf t =
+  Format.fprintf ppf "%s (loss %.3f, dup %.3f, corrupt %.3f%s)" t.name t.link.Link.loss
+    t.link.Link.duplicate t.link.Link.corrupt
+    (match t.crash_every with
+    | None -> ", no crashes"
+    | Some every -> Format.asprintf ", crash every ~%a for %a" Clock.pp every Clock.pp t.crash_outage)

@@ -1,0 +1,35 @@
+(** Fault profiles: one point in the link-model × crash-schedule matrix.
+
+    The paper's robustness claims (§2.2 crash/recovery, §3.4 lost and
+    duplicated messages, §3.5 timeout-driven retry) are claims about *all*
+    admissible executions, so the checker sweeps scenarios across a matrix
+    of delivery-fault models (perfect/lan/wan/lossy links) crossed with
+    crash-restart schedules.  A profile is deterministic data; all
+    randomness comes from the scenario seed at run time. *)
+
+module Clock = Dcp_sim.Clock
+
+type t = {
+  name : string;
+  link : Dcp_net.Link.t;  (** inter-node link model *)
+  crash_every : Clock.time option;
+      (** mean gap between crash injections; [None] = no crashes *)
+  crash_outage : Clock.time;  (** how long a crashed node stays down *)
+}
+
+val all : t list
+(** The full matrix: [perfect], [lan], [wan], [lossy] links, each with and
+    without a crash-restart schedule ([<link>+crash]). *)
+
+val names : string list
+
+val find : string -> t option
+(** Look up a profile by name ([find "wan+crash"]). *)
+
+val scale : t -> intensity:float -> t
+(** Shrinking knob: scale every fault probability (loss, duplication,
+    corruption) by [intensity] (clamped to [0,1]) and stretch the crash
+    period by [1/intensity]; [intensity = 0.] disables faults and crashes
+    entirely.  [scale t ~intensity:1.] is [t]. *)
+
+val pp : Format.formatter -> t -> unit

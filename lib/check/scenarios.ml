@@ -1,0 +1,275 @@
+open Dcp_wire
+module Runtime = Dcp_core.Runtime
+module Rpc = Dcp_primitives.Rpc
+module Branch = Dcp_bank.Branch
+module Transfer = Dcp_bank.Transfer
+module Flight = Dcp_airline.Flight
+module Itinerary = Dcp_airline.Itinerary
+module Cluster = Dcp_airline.Cluster
+module Workload = Dcp_airline.Workload
+module Clock = Dcp_sim.Clock
+module Engine = Dcp_sim.Engine
+module Network = Dcp_net.Network
+module Topology = Dcp_net.Topology
+module Rng = Dcp_rng.Rng
+
+(* The crash schedule draws from its own root, derived from the scenario
+   seed, so fault timing is independent of the workload stream but still a
+   pure function of the seed. *)
+let chaos_rng seed = Rng.create ~seed:(seed lxor 0x2545F4914F6CDD1D)
+
+let world_fingerprint world extra =
+  let net = Network.stats (Runtime.network world) in
+  Printf.sprintf "ev=%d sent=%d lost=%d%s"
+    (Engine.events_executed (Runtime.engine world))
+    net.Network.messages_sent net.Network.fragments_lost extra
+
+let verdict_of oracles world =
+  match Oracle.check_all oracles world with
+  | Ok () -> Scenario.Pass
+  | Error reason -> Scenario.Fail reason
+
+(* ---- bank: transfer sagas vs the sequential reference model ---- *)
+
+let bank_accounts prefix = List.init 3 (fun i -> (Printf.sprintf "%s%d" prefix i, 500))
+
+let bank_initial =
+  List.concat_map
+    (fun (branch, prefix) -> List.map (fun (a, v) -> (branch, a, v)) (bank_accounts prefix))
+    [ (0, "a"); (1, "b") ]
+
+let run_bank ~model_skips (params : Scenario.params) =
+  let profile = params.profile in
+  let config = { Runtime.default_config with crash_tear_p = 0.0 } in
+  let world =
+    Runtime.create_world ~seed:params.seed
+      ~topology:(Topology.full_mesh ~n:4 profile.Profile.link)
+      ~config ()
+  in
+  let b0 = Branch.create world ~at:0 ~accounts:(bank_accounts "a") () in
+  let b1 = Branch.create world ~at:1 ~accounts:(bank_accounts "b") () in
+  let coordinator = Transfer.create world ~at:2 ~branches:[ b0; b1 ] () in
+  let ledger = ref [] in
+  let gap = Int.max (Clock.ms 5) (params.horizon / Int.max 1 params.workload) in
+  Chaos.driver world ~at:3 ~name:"check_bank_driver" (fun ctx ->
+      let rng = Rng.split (Runtime.world_rng world) in
+      for i = 1 to params.workload do
+        let tid = 4_000_000_000 + i in
+        let forward = i mod 2 = 0 in
+        let from_branch, to_branch = if forward then (0, 1) else (1, 0) in
+        let prefix b = if b = 0 then "a" else "b" in
+        let from_account = Printf.sprintf "%s%d" (prefix from_branch) (Rng.int rng 3) in
+        let to_account = Printf.sprintf "%s%d" (prefix to_branch) (Rng.int rng 3) in
+        let amount = 1 + Rng.int rng 40 in
+        let entry =
+          { Oracle.tid; from_branch; from_account; to_branch; to_account; amount; observed = "pending" }
+        in
+        ledger := entry :: !ledger;
+        (match
+           Rpc.call ctx ~to_:coordinator ~timeout:(Clock.s 2) ~attempts:3 ~request_id:tid
+             "transfer"
+             [
+               Value.int from_branch;
+               Value.str from_account;
+               Value.int to_branch;
+               Value.str to_account;
+               Value.int amount;
+             ]
+         with
+        | Rpc.Reply (command, _) -> entry.Oracle.observed <- command
+        | Rpc.Failure_msg _ -> entry.Oracle.observed <- "failure"
+        | Rpc.Timeout -> entry.Oracle.observed <- "timeout");
+        Runtime.sleep ctx (gap + Rng.int rng (Int.max 1 (gap / 2)))
+      done);
+  Chaos.schedule_crashes world ~rng:(chaos_rng params.seed) ~profile ~nodes:[ 0; 1; 2 ]
+    ~horizon:params.horizon;
+  (* Settle bound: per transfer the driver blocks at most attempts×timeout
+     plus pacing, and a parked deposit retries across outages; virtual
+     time is free, so be generous. *)
+  let settle = Clock.s 120 + (params.workload * Clock.s 8) in
+  Runtime.run_for world (params.horizon + settle);
+  let count outcome =
+    List.length (List.filter (fun e -> String.equal e.Oracle.observed outcome) !ledger)
+  in
+  let ok = count "ok" and timeouts = count "timeout" in
+  let verdict =
+    if List.length !ledger < params.workload then
+      Scenario.Fail
+        (Printf.sprintf "driver issued only %d of %d transfers" (List.length !ledger)
+           params.workload)
+    else
+      verdict_of
+        [
+          Oracle.bank_quiescent;
+          Oracle.bank_conservation ~expected_total:3000;
+          Oracle.bank_model ~initial:bank_initial ~ledger ~model_skips ();
+        ]
+        world
+  in
+  {
+    Scenario.verdict;
+    fingerprint = world_fingerprint world (Printf.sprintf " ok=%d to=%d" ok timeouts);
+    stats =
+      [
+        ("transfers_ok", ok);
+        ("transfers_timeout", timeouts);
+        ("events", Engine.events_executed (Runtime.engine world));
+      ];
+  }
+
+let bank =
+  {
+    Scenario.name = "bank";
+    descr = "cross-branch transfer sagas vs a sequential reference model";
+    default_horizon = Clock.s 4;
+    default_workload = 30;
+    run = run_bank ~model_skips:0;
+  }
+
+let bank_mutated =
+  {
+    Scenario.name = "bank_mutated";
+    descr = "bank with a model that ignores the first transfer (harness self-test; must fail)";
+    default_horizon = Clock.s 4;
+    default_workload = 30;
+    run = run_bank ~model_skips:1;
+  }
+
+(* ---- airline: Figure-2 cluster under churn ---- *)
+
+let airline_capacity = 5
+let airline_waitlist = 10
+
+let run_airline (params : Scenario.params) =
+  let profile = params.profile in
+  let cluster_params =
+    {
+      Cluster.default_params with
+      regions = 3;
+      flights_per_region = 2;
+      capacity = airline_capacity;
+      clerks_per_region = Int.max 1 params.workload;
+      seed = params.seed;
+      inter_node = profile.Profile.link;
+      clerk =
+        {
+          Workload.default_config with
+          transactions = 0;
+          requests_per_transaction = 4;
+          think_time = Clock.ms 5;
+          dates = 4;
+          reserve_fraction = 0.7;
+          undo_fraction = 0.1;
+          request_timeout = Clock.ms 300;
+          attempts = 3;
+        };
+    }
+  in
+  let cluster = Cluster.build cluster_params in
+  let world = cluster.Cluster.world in
+  Chaos.schedule_crashes world ~rng:(chaos_rng params.seed) ~profile ~nodes:[ 0; 1; 2 ]
+    ~horizon:params.horizon;
+  let report = Cluster.run cluster ~duration:(params.horizon + Clock.s 10) in
+  let verdict =
+    verdict_of
+      [ Oracle.airline_seat_ledger ~capacity:airline_capacity ~waitlist_capacity:airline_waitlist ]
+      world
+  in
+  {
+    Scenario.verdict;
+    fingerprint =
+      world_fingerprint world
+        (Printf.sprintf " ok=%d failed=%d tx=%d" report.Cluster.requests_ok
+           report.Cluster.requests_failed report.Cluster.transactions_completed);
+    stats =
+      [
+        ("requests_ok", report.Cluster.requests_ok);
+        ("requests_failed", report.Cluster.requests_failed);
+        ("transactions_completed", report.Cluster.transactions_completed);
+        ("events", Engine.events_executed (Runtime.engine world));
+      ];
+  }
+
+let airline =
+  {
+    Scenario.name = "airline";
+    descr = "Figure-2 airline cluster under clerk load; seat-ledger invariants";
+    default_horizon = Clock.s 40;
+    default_workload = 2;  (* clerks per region *)
+    run = run_airline;
+  }
+
+(* ---- itinerary: two-leg 2PC bookings ---- *)
+
+let run_itinerary (params : Scenario.params) =
+  let profile = params.profile in
+  let config = { Runtime.default_config with crash_tear_p = 0.0 } in
+  let world =
+    Runtime.create_world ~seed:params.seed
+      ~topology:(Topology.full_mesh ~n:4 profile.Profile.link)
+      ~config ()
+  in
+  let f1 = Flight.create world ~at:0 ~flight:1 ~capacity:6 ~service_time:(Clock.us 100) () in
+  let f2 = Flight.create world ~at:1 ~flight:2 ~capacity:6 ~service_time:(Clock.us 100) () in
+  let itinerary = Itinerary.create world ~at:2 ~directory:[ (1, f1); (2, f2) ] () in
+  let outcomes = ref [] in
+  for i = 1 to params.workload do
+    Chaos.driver world ~at:3 ~name:(Printf.sprintf "check_trip_driver_%d" i) (fun ctx ->
+        let passenger = Printf.sprintf "px%d" i in
+        let legs =
+          Value.list
+            [
+              Value.tuple [ Value.int 1; Value.int (i mod 3) ];
+              Value.tuple [ Value.int 2; Value.int (i mod 3) ];
+            ]
+        in
+        (* Retry with the SAME request id so participant/coordinator logs
+           keep retried attempts idempotent across crashes. *)
+        let rid = 4_000_000_000 + i in
+        let rec attempt tries =
+          match
+            Rpc.call ctx ~to_:itinerary ~timeout:(Clock.s 3) ~request_id:rid "book_trip"
+              [ Value.str passenger; legs ]
+          with
+          | Rpc.Reply (command, _) -> outcomes := (passenger, command) :: !outcomes
+          | Rpc.Failure_msg _ | Rpc.Timeout ->
+              if tries > 1 then begin
+                Runtime.sleep ctx (Clock.ms 500);
+                attempt (tries - 1)
+              end
+              else outcomes := (passenger, "gave_up") :: !outcomes
+        in
+        attempt 4)
+  done;
+  Chaos.schedule_crashes world ~rng:(chaos_rng params.seed) ~profile ~nodes:[ 0; 1; 2 ]
+    ~horizon:params.horizon;
+  let settle = Clock.s 120 + (params.workload * Clock.s 15) in
+  Runtime.run_for world (params.horizon + settle);
+  let booked =
+    List.length (List.filter (fun (_, o) -> String.equal o "booked") !outcomes)
+  in
+  let verdict = verdict_of [ Oracle.itinerary_atomicity ~outcomes ] world in
+  {
+    Scenario.verdict;
+    fingerprint = world_fingerprint world (Printf.sprintf " booked=%d" booked);
+    stats =
+      [
+        ("booked", booked);
+        ("outcomes", List.length !outcomes);
+        ("events", Engine.events_executed (Runtime.engine world));
+      ];
+  }
+
+let itinerary =
+  {
+    Scenario.name = "itinerary";
+    descr = "two-leg 2PC bookings under churn; all-or-nothing atomicity";
+    default_horizon = Clock.s 3;
+    default_workload = 12;
+    run = run_itinerary;
+  }
+
+let all = [ bank; airline; itinerary ]
+let every = all @ [ bank_mutated ]
+let find name = List.find_opt (fun s -> String.equal s.Scenario.name name) every
+let names = List.map (fun s -> s.Scenario.name) every

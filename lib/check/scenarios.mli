@@ -1,0 +1,30 @@
+(** The concrete scenario library.
+
+    Each scenario wires a subsystem workload to the fault machinery and
+    its model oracles:
+
+    - [bank]: cross-branch transfer sagas; money conservation, saga
+      quiescence, and the sequential reference model over the branches'
+      durable response records.
+    - [airline]: the Figure-2 cluster under clerk load; per-date seat
+      ledger invariants.
+    - [itinerary]: two-leg 2PC bookings; all-or-nothing atomicity, honest
+      acks, no dangling holds.
+    - [bank_mutated]: [bank] with a reference model that deliberately
+      ignores the first transfer — the harness self-test.  It MUST fail on
+      most seeds; a sweep that reports it green means the checker itself
+      is broken. *)
+
+val bank : Scenario.t
+val airline : Scenario.t
+val itinerary : Scenario.t
+val bank_mutated : Scenario.t
+
+val all : Scenario.t list
+(** The honest scenarios (excludes [bank_mutated]). *)
+
+val find : string -> Scenario.t option
+(** By name, including [bank_mutated]. *)
+
+val names : string list
+(** Every scenario name, including [bank_mutated]. *)

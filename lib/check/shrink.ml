@@ -1,0 +1,88 @@
+module Clock = Dcp_sim.Clock
+
+type counterexample = {
+  scenario : string;
+  seed : int;
+  profile : string;
+  intensity : float;
+  horizon : Clock.time;
+  workload : int;
+  reason : string;
+  trials : int;
+  accepted : int;
+}
+
+let min_horizon = Clock.ms 100
+
+(* One deterministic replay at a candidate configuration. *)
+let attempt scenario ~seed ~profile ~intensity ~horizon ~workload =
+  let outcome = Scenario.execute scenario ~seed ~profile ~horizon ~workload ~intensity () in
+  Scenario.fail_reason outcome
+
+let run scenario ~seed ~profile ?horizon ?workload ?(budget = 60) () =
+  let horizon0 = Option.value horizon ~default:scenario.Scenario.default_horizon in
+  let workload0 = Option.value workload ~default:scenario.Scenario.default_workload in
+  let trials = ref 1 in
+  match attempt scenario ~seed ~profile ~intensity:1.0 ~horizon:horizon0 ~workload:workload0 with
+  | None -> Error "scenario passes at the starting point; nothing to shrink"
+  | Some reason0 ->
+      (* Greedy descent: big cuts first (halve the horizon, halve the
+         workload), then fine ones (drop one unit of work, damp the fault
+         intensity).  Accept the first candidate that still fails and
+         restart from it; stop at a fixpoint or when the budget runs out. *)
+      let state = ref (horizon0, workload0, 1.0, reason0) in
+      let accepted = ref 0 in
+      let candidates (horizon, workload, intensity, _) =
+        List.concat
+          [
+            (if horizon / 2 >= min_horizon then [ (horizon / 2, workload, intensity) ] else []);
+            (if workload / 2 >= 1 && workload / 2 < workload then
+               [ (horizon, workload / 2, intensity) ]
+             else []);
+            (if workload > 1 then [ (horizon, workload - 1, intensity) ] else []);
+            (if intensity > 0.05 then [ (horizon, workload, intensity /. 2.) ] else []);
+            (if intensity > 0.0 then [ (horizon, workload, 0.0) ] else []);
+          ]
+      in
+      let rec descend () =
+        let rec try_candidates = function
+          | [] -> ()
+          | (horizon, workload, intensity) :: rest ->
+              if !trials >= budget then ()
+              else begin
+                incr trials;
+                match attempt scenario ~seed ~profile ~intensity ~horizon ~workload with
+                | Some reason ->
+                    state := (horizon, workload, intensity, reason);
+                    incr accepted;
+                    descend ()
+                | None -> try_candidates rest
+              end
+        in
+        try_candidates (candidates !state)
+      in
+      descend ();
+      let horizon, workload, intensity, reason = !state in
+      Ok
+        {
+          scenario = scenario.Scenario.name;
+          seed;
+          profile = profile.Profile.name;
+          intensity;
+          horizon;
+          workload;
+          reason;
+          trials = !trials;
+          accepted = !accepted;
+        }
+
+let replay_hint c =
+  Printf.sprintf
+    "dune exec bin/dcp_check.exe -- run --scenario %s --seed %d --profile %s --horizon-ms %d --workload %d --intensity %g"
+    c.scenario c.seed c.profile (c.horizon / Clock.ms 1) c.workload c.intensity
+
+let pp ppf c =
+  Format.fprintf ppf
+    "@[<v>minimal counterexample: scenario=%s seed=%d profile=%s intensity=%g horizon=%a workload=%d@ reason: %s@ (%d trials, %d accepted shrinks)@ replay: %s@]"
+    c.scenario c.seed c.profile c.intensity Clock.pp c.horizon c.workload c.reason c.trials
+    c.accepted (replay_hint c)

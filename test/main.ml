@@ -8,6 +8,7 @@ let () =
       ("wire", Test_wire.tests);
       ("message", Test_message.tests);
       ("stable", Test_stable.tests);
+      ("wal_recovery", Test_wal_recovery.tests);
       ("core", Test_core.tests);
       ("compute", Test_compute.tests);
       ("runtime", Test_runtime.tests);
@@ -27,5 +28,6 @@ let () =
       ("hotpath", Test_hotpath.tests);
       ("chaos", Test_chaos.tests);
       ("fuzz", Test_fuzz.tests);
+      ("check", Test_check.tests);
       ("misc", Test_misc.tests);
     ]
