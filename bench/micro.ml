@@ -27,19 +27,40 @@ let sample_value =
 
 let sample_encoded = Codec.encode_exn sample_value
 let kilobyte = String.init 1024 (fun i -> Char.chr (i mod 256))
+let bytes64 = String.init 64 (fun i -> Char.chr ((i * 7) mod 256))
+let fourkib = String.init 4096 (fun i -> Char.chr ((i * 13) mod 256))
 
 let test_codec_encode =
   Test.make ~name:"codec.encode message" (Staged.stage (fun () -> Codec.encode_exn sample_value))
 
+let test_codec_encode_reused =
+  Test.make ~name:"codec.encode message (reused encoder)"
+    (Staged.stage
+       (let enc = Codec.encoder () in
+        fun () -> Codec.encode_with_exn enc sample_value))
+
 let test_codec_decode =
   Test.make ~name:"codec.decode message" (Staged.stage (fun () -> Codec.decode_exn sample_encoded))
+
+let test_crc32_64 =
+  Test.make ~name:"crc32 64B" (Staged.stage (fun () -> Crc32.digest_string bytes64))
 
 let test_crc32 =
   Test.make ~name:"crc32 1KiB" (Staged.stage (fun () -> Crc32.digest_string kilobyte))
 
+let test_crc32_4k =
+  Test.make ~name:"crc32 4KiB" (Staged.stage (fun () -> Crc32.digest_string fourkib))
+
 let test_fragment =
   Test.make ~name:"packet.fragment 1KiB mtu=256"
     (Staged.stage (fun () -> Packet.fragment ~src:0 ~dst:1 ~msg_id:1 ~mtu:256 kilobyte))
+
+let test_fragment_reassemble =
+  Test.make ~name:"packet.fragment+reassemble 1KiB mtu=256"
+    (Staged.stage (fun () ->
+         let frags = Packet.fragment ~src:0 ~dst:1 ~msg_id:1 ~mtu:256 kilobyte in
+         let r = Packet.Reassembly.create () in
+         List.iter (fun f -> ignore (Packet.Reassembly.offer r ~now:0 f)) frags))
 
 let test_heap =
   Test.make ~name:"heap push+pop x64"
@@ -58,6 +79,23 @@ let test_wal_append =
        (let wal = Wal.create () in
         let payload = String.make 64 'x' in
         fun () -> ignore (Wal.append wal payload)))
+
+(* Replay of a standing 1k-record log: with the verified-prefix cache this
+   is pure iteration (each CRC was checked once, on the first replay);
+   without it every call re-digests all 1000 records. *)
+let test_wal_replay_1k =
+  Test.make ~name:"wal.replay 1k"
+    (Staged.stage
+       (let wal = Wal.create () in
+        let payload = String.make 64 'y' in
+        let () =
+          for _ = 1 to 1000 do
+            ignore (Wal.append wal payload)
+          done
+        in
+        fun () ->
+          let n = ref 0 in
+          Wal.replay wal (fun _ _ -> incr n)))
 
 let test_token =
   Test.make ~name:"token seal+unseal"
@@ -191,11 +229,16 @@ let test_send_path_1k =
 let all_tests =
   [
     test_codec_encode;
+    test_codec_encode_reused;
     test_codec_decode;
+    test_crc32_64;
     test_crc32;
+    test_crc32_4k;
     test_fragment;
+    test_fragment_reassemble;
     test_heap;
     test_wal_append;
+    test_wal_replay_1k;
     test_token;
     test_rng;
     test_send_path;

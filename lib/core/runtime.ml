@@ -52,6 +52,7 @@ type world = {
   registry : Transmit.registry;
   metrics : Metrics.registry;
   hot : hot_metrics;
+  encoder : Codec.encoder;  (** scratch-buffer encoder for the send path *)
   trace : Trace.t;
   sys_rng : Rng.t;  (** secrets, crash tears *)
   workload_rng : Rng.t;  (** handed to user workload generators *)
@@ -209,7 +210,7 @@ let deliver_body w dst_node_id body =
    too). *)
 let route w ~from_node ~target msg =
   let env = Message.envelope ~target msg in
-  match Codec.encode ~config:w.config.codec env with
+  match Codec.encode_with w.encoder env with
   | Error e -> raise (Send_failed (Format.asprintf "%a" Codec.pp_error e))
   | Ok body ->
       if target.Port_name.node = from_node then begin
@@ -264,6 +265,7 @@ let create_world ~seed ~topology ?(config = default_config) () =
       registry = Transmit.registry ();
       metrics;
       hot;
+      encoder = Codec.encoder ~config:config.codec ();
       trace = Trace.create ();
       sys_rng;
       workload_rng;

@@ -17,8 +17,11 @@ let fragment ~src ~dst ~msg_id ~mtu body =
   let count = if len = 0 then 1 else (len + mtu - 1) / mtu in
   let make index =
     let pos = index * mtu in
-    let payload = String.sub body pos (Int.min mtu (len - pos)) in
-    { src; dst; msg_id; index; count; payload; crc = Crc32.digest_string payload }
+    let plen = Int.min mtu (len - pos) in
+    (* checksum the slice in place: one copy per fragment (the payload),
+       not a second one just to feed the CRC *)
+    let crc = Crc32.digest_substring body ~pos ~len:plen in
+    { src; dst; msg_id; index; count; payload = String.sub body pos plen; crc }
   in
   List.init count make
 
@@ -48,37 +51,43 @@ module Reassembly = struct
 
   let create () = { table = Hashtbl.create 64 }
 
-  let offer t ~now f =
-    let key = (f.src, f.msg_id) in
-    let partial =
-      match Hashtbl.find_opt t.table key with
-      | Some p -> p
-      | None ->
-          let p = { count = f.count; slots = Array.make f.count None; filled = 0; first_seen = now } in
-          Hashtbl.add t.table key p;
-          p
-    in
-    if f.index < 0 || f.index >= partial.count then None
-    else begin
-      (match partial.slots.(f.index) with
-      | Some _ -> ()
-      | None ->
-          partial.slots.(f.index) <- Some f.payload;
-          partial.filled <- partial.filled + 1);
-      if partial.filled = partial.count then begin
-        Hashtbl.remove t.table key;
-        let pieces =
-          Array.to_list
-            (Array.map
-               (function
-                 | Some payload -> payload
-                 | None -> assert false)
-               partial.slots)
-        in
-        Some (f.src, String.concat "" pieces)
-      end
-      else None
+  let fold_in t ~key partial (f : fragment) =
+    (match partial.slots.(f.index) with
+    | Some _ -> ()
+    | None ->
+        partial.slots.(f.index) <- Some f.payload;
+        partial.filled <- partial.filled + 1);
+    if partial.filled = partial.count then begin
+      Hashtbl.remove t.table key;
+      let pieces =
+        Array.to_list
+          (Array.map
+             (function
+               | Some payload -> payload
+               | None -> assert false)
+             partial.slots)
+      in
+      Some (f.src, String.concat "" pieces)
     end
+    else None
+
+  let offer t ~now (f : fragment) =
+    if f.count <= 0 || f.index < 0 || f.index >= f.count then None
+    else
+      let key = (f.src, f.msg_id) in
+      match Hashtbl.find_opt t.table key with
+      | Some partial when partial.count <> f.count ->
+          (* a header whose count disagrees with the partial's geometry is
+             corruption the CRC cannot see (it covers only the payload);
+             folding it in could truncate or misassemble the message *)
+          None
+      | Some partial -> fold_in t ~key partial f
+      | None ->
+          let partial =
+            { count = f.count; slots = Array.make f.count None; filled = 0; first_seen = now }
+          in
+          Hashtbl.add t.table key partial;
+          fold_in t ~key partial f
 
   let pending t = Hashtbl.length t.table
 

@@ -46,7 +46,11 @@ module Reassembly : sig
   (** Accept a fragment; when it completes its message, return
       [(src, whole_body)] and discard the buffered state.  Duplicate
       fragments are ignored.  Corrupt fragments must be filtered out by the
-      caller before offering. *)
+      caller before offering — but the payload CRC cannot vouch for the
+      header, so [offer] additionally rejects fragments whose geometry is
+      implausible ([count <= 0], [index] outside [0, count)]) or whose
+      [count] disagrees with the partial already being assembled; such a
+      fragment returns [None] and leaves the partial untouched. *)
 
   val pending : t -> int
   (** Number of partially reassembled messages held. *)

@@ -4,57 +4,103 @@ type lsn = int
 
 type record = { lsn : lsn; payload : string; crc : int32 }
 
+(* Records live oldest-first in a growable array, so [append] is amortized
+   O(1).  [verified] counts the prefix of entries whose CRCs have already
+   been checked intact; readers extend it instead of re-digesting the whole
+   log, so [length]/[replay]/[records] cost one digest per *new* record
+   overall.  The only operation that can invalidate a previously verified
+   entry is [tear_tail] (it damages the newest record), which pulls
+   [verified] back below the damaged index; a damaged record itself is
+   never cached as verified and is re-checked on each read — O(1) per call. *)
 type t = {
-  mutable entries : record list;  (** newest first *)
+  mutable entries : record array;  (** slots [0, len) live, oldest first *)
+  mutable len : int;
+  mutable verified : int;
+  mutable payload_bytes : int;  (** over all live entries, damaged or not *)
   mutable first : lsn;
   mutable next : lsn;
 }
 
-let create () = { entries = []; first = 0; next = 0 }
+let dummy = { lsn = -1; payload = ""; crc = 0l }
+
+let create () =
+  { entries = Array.make 8 dummy; len = 0; verified = 0; payload_bytes = 0; first = 0; next = 0 }
 
 let append t payload =
   let lsn = t.next in
   t.next <- lsn + 1;
-  t.entries <- { lsn; payload; crc = Crc32.digest_string payload } :: t.entries;
+  if t.len = Array.length t.entries then begin
+    let bigger = Array.make (2 * Array.length t.entries) dummy in
+    Array.blit t.entries 0 bigger 0 t.len;
+    t.entries <- bigger
+  end;
+  t.entries.(t.len) <- { lsn; payload; crc = Crc32.digest_string payload };
+  t.len <- t.len + 1;
+  t.payload_bytes <- t.payload_bytes + String.length payload;
   lsn
 
 let intact r = Int32.equal r.crc (Crc32.digest_string r.payload)
 
-let intact_in_order t =
-  let rec take_while_intact acc = function
-    | [] -> acc
-    | r :: rest -> if intact r then take_while_intact (r :: acc) rest else acc
-  in
-  (* entries are newest-first; a damaged record hides everything after it,
-     so scan oldest-first and stop at the first bad CRC. *)
-  List.rev (take_while_intact [] (List.rev t.entries))
+(* Extend the verified prefix and return its length: the number of records
+   replay can see.  A damaged record hides everything after it, exactly as
+   garbage mid-file does in an on-disk log. *)
+let verify t =
+  while t.verified < t.len && intact t.entries.(t.verified) do
+    t.verified <- t.verified + 1
+  done;
+  t.verified
 
-let length t = List.length (intact_in_order t)
-let replay t f = List.iter (fun r -> f r.lsn r.payload) (intact_in_order t)
-let records t = List.map (fun r -> r.payload) (intact_in_order t)
+let length t = verify t
+
+let replay t f =
+  let n = verify t in
+  for i = 0 to n - 1 do
+    let r = t.entries.(i) in
+    f r.lsn r.payload
+  done
+
+let records t = List.init (verify t) (fun i -> t.entries.(i).payload)
 
 let truncate_prefix t ~upto =
-  t.entries <- List.filter (fun r -> r.lsn >= upto) t.entries;
+  (* entries are in increasing-lsn order, so this removes a prefix *)
+  let k = ref 0 in
+  while !k < t.len && t.entries.(!k).lsn < upto do
+    t.payload_bytes <- t.payload_bytes - String.length t.entries.(!k).payload;
+    incr k
+  done;
+  let k = !k in
+  if k > 0 then begin
+    Array.blit t.entries k t.entries 0 (t.len - k);
+    Array.fill t.entries (t.len - k) k dummy;
+    t.len <- t.len - k;
+    t.verified <- Int.max 0 (t.verified - k)
+  end;
   t.first <- Int.max t.first upto
 
 let first_lsn t = t.first
 let next_lsn t = t.next
 
 let repair t =
-  let intact = intact_in_order t in
-  let dropped = List.length t.entries - List.length intact in
-  if dropped > 0 then t.entries <- List.rev intact;
+  let n = verify t in
+  let dropped = t.len - n in
+  if dropped > 0 then begin
+    for i = n to t.len - 1 do
+      t.payload_bytes <- t.payload_bytes - String.length t.entries.(i).payload
+    done;
+    Array.fill t.entries n dropped dummy;
+    t.len <- n
+  end;
   dropped
 
 let tear_tail t rng ~p =
-  match t.entries with
-  | [] -> false
-  | newest :: rest ->
-      if Dcp_rng.Rng.bernoulli rng p then begin
-        t.entries <- { newest with crc = Int32.lognot newest.crc } :: rest;
-        true
-      end
-      else false
+  if t.len = 0 then false
+  else if Dcp_rng.Rng.bernoulli rng p then begin
+    let last = t.len - 1 in
+    let r = t.entries.(last) in
+    t.entries.(last) <- { r with crc = Int32.lognot r.crc };
+    t.verified <- Int.min t.verified last;
+    true
+  end
+  else false
 
-let storage_bytes t =
-  List.fold_left (fun acc r -> acc + String.length r.payload + 12) 0 t.entries
+let storage_bytes t = t.payload_bytes + (12 * t.len)

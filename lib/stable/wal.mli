@@ -19,10 +19,13 @@ type lsn = int
 val create : unit -> t
 
 val append : t -> string -> lsn
-(** Durably append a record; returns its LSN (0-based, dense). *)
+(** Durably append a record; returns its LSN (0-based, dense).  Amortized
+    O(1). *)
 
 val length : t -> int
-(** Number of intact records. *)
+(** Number of intact records.  Each record's CRC is verified at most once
+    across the log's lifetime (a verified-prefix cache), so reads after
+    the first are O(1) per already-verified record. *)
 
 val replay : t -> (lsn -> string -> unit) -> unit
 (** Apply every intact record in LSN order. *)

@@ -157,7 +157,9 @@ let read_int64 r =
 
 let read_string r =
   let len = read_uvarint r in
-  if r.pos + len > String.length r.input then
+  (* compare against the space left, never [r.pos + len]: an adversarial
+     varint can make that sum wrap negative and slip past the bound *)
+  if len < 0 || len > String.length r.input - r.pos then
     raise (Codec_error (Malformed "truncated string"));
   let s = String.sub r.input r.pos len in
   r.pos <- r.pos + len;
@@ -214,14 +216,29 @@ and decode_seq config r =
   let n = read_uvarint r in
   List.init n (fun _ -> decode_value config r)
 
-let encode ?(config = default_config) v =
-  match
-    let buf = Buffer.create 64 in
-    encode_value config buf v;
-    Buffer.contents buf
-  with
-  | s -> if String.length s > config.max_message then Error (Message_too_long (String.length s)) else Ok s
+(* An encoder owns a scratch buffer reused across calls, so hot senders
+   (Runtime.route encodes every message in the world) stop allocating and
+   growing a fresh Buffer per message; only the final output string is
+   allocated. *)
+type encoder = { enc_config : config; scratch : Buffer.t }
+
+let encoder ?(config = default_config) () = { enc_config = config; scratch = Buffer.create 256 }
+let encoder_config enc = enc.enc_config
+
+let encode_with enc v =
+  let buf = enc.scratch in
+  Buffer.clear buf;
+  match encode_value enc.enc_config buf v with
+  | () ->
+      if Buffer.length buf > enc.enc_config.max_message then
+        Error (Message_too_long (Buffer.length buf))
+      else Ok (Buffer.contents buf)
   | exception Codec_error e -> Error e
+
+let encode_with_exn enc v =
+  match encode_with enc v with Ok s -> s | Error e -> raise (Codec_error e)
+
+let encode ?config v = encode_with (encoder ?config ()) v
 
 let decode ?(config = default_config) s =
   if String.length s > config.max_message then Error (Message_too_long (String.length s))

@@ -41,6 +41,27 @@ exception Codec_error of error
 val encode : ?config:config -> Value.t -> (string, error) result
 val decode : ?config:config -> string -> (Value.t, error) result
 
+(** {2 Reusable encoders}
+
+    [encode] allocates a fresh scratch buffer per call.  A long-lived
+    sender (the runtime encodes every message it routes) should mint one
+    {!encoder} and call {!encode_with}: the scratch buffer is reused
+    across calls, so steady-state encoding allocates only the output
+    string. *)
+
+type encoder
+
+val encoder : ?config:config -> unit -> encoder
+val encoder_config : encoder -> config
+
+val encode_with : encoder -> Value.t -> (string, error) result
+(** Same contract as {!encode} with the same [config].  Not reentrant:
+    the returned string is built in [encoder]'s scratch buffer, which the
+    next [encode_with] on the same handle reuses. *)
+
+val encode_with_exn : encoder -> Value.t -> string
+(** @raise Codec_error *)
+
 val encode_exn : ?config:config -> Value.t -> string
 (** @raise Codec_error *)
 

@@ -14,7 +14,46 @@ module Rng = Dcp_rng.Rng
 let test_crc_known_vectors () =
   (* Standard IEEE CRC-32 check values. *)
   Alcotest.(check int32) "check string" 0xcbf43926l (Crc32.digest_string "123456789");
-  Alcotest.(check int32) "empty" 0l (Crc32.digest_string "")
+  Alcotest.(check int32) "empty" 0l (Crc32.digest_string "");
+  Alcotest.(check int32) "one byte" 0xe8b7be43l (Crc32.digest_string "a");
+  Alcotest.(check int32) "pangram" 0x414fa339l
+    (Crc32.digest_string "The quick brown fox jumps over the lazy dog")
+
+(* The classic byte-at-a-time bitwise algorithm, as a reference the
+   slicing-by-8 implementation must agree with on every length (tails of
+   0..7 bytes take a different code path than whole 8-byte blocks). *)
+let crc32_reference s =
+  let crc = ref 0xffffffff in
+  String.iter
+    (fun ch ->
+      crc := !crc lxor Char.code ch;
+      for _ = 0 to 7 do
+        crc := if !crc land 1 = 1 then (!crc lsr 1) lxor 0xedb88320 else !crc lsr 1
+      done)
+    s;
+  Int32.of_int (!crc lxor 0xffffffff)
+
+let test_crc_slicing_matches_reference () =
+  for len = 0 to 80 do
+    let s = String.init len (fun i -> Char.chr ((i * 89 + len * 17) mod 256)) in
+    Alcotest.(check int32)
+      (Printf.sprintf "len=%d" len)
+      (crc32_reference s) (Crc32.digest_string s)
+  done
+
+let prop_crc_slicing_matches_reference =
+  QCheck2.Test.make ~name:"slicing-by-8 agrees with bitwise reference" ~count:300
+    QCheck2.Gen.(string_size (int_range 0 200))
+    (fun s -> Int32.equal (crc32_reference s) (Crc32.digest_string s))
+
+let test_crc_substring () =
+  let s = "xxhelloxx" in
+  Alcotest.(check int32) "string slice" (Crc32.digest_string "hello")
+    (Crc32.digest_substring s ~pos:2 ~len:5);
+  Alcotest.(check int32) "whole string" (Crc32.digest_string s)
+    (Crc32.digest_substring s ~pos:0 ~len:(String.length s));
+  Alcotest.check_raises "out of bounds" (Invalid_argument "Crc32.digest_substring") (fun () ->
+      ignore (Crc32.digest_substring s ~pos:5 ~len:5))
 
 let test_crc_incremental_matches () =
   let s = "the quick brown fox" in
@@ -97,6 +136,42 @@ let test_reassembly_gc () =
   let dropped = Packet.Reassembly.drop_older_than r ~before:(Clock.ms 5) in
   Alcotest.(check int) "dropped" 1 dropped;
   Alcotest.(check int) "none pending" 0 (Packet.Reassembly.pending r)
+
+let test_reassembly_rejects_count_mismatch () =
+  let body = String.init 3000 (fun i -> Char.chr (i mod 256)) in
+  let frags = Packet.fragment ~src:1 ~dst:2 ~msg_id:11 ~mtu:1000 body in
+  let r = Packet.Reassembly.create () in
+  (match Packet.Reassembly.offer r ~now:0 (List.hd frags) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "one fragment cannot complete three");
+  (* A corrupted header: payload CRC still valid, count lies.  Folding it
+     in under the old count would truncate the message. *)
+  let liar = { (List.nth frags 1) with Packet.count = 2 } in
+  Alcotest.(check bool) "mismatched count rejected" true
+    (Packet.Reassembly.offer r ~now:0 liar = None);
+  Alcotest.(check int) "partial untouched" 1 (Packet.Reassembly.pending r);
+  let result =
+    List.fold_left
+      (fun acc f ->
+        match Packet.Reassembly.offer r ~now:0 f with Some (_, b) -> Some b | None -> acc)
+      None (List.tl frags)
+  in
+  match result with
+  | Some b -> Alcotest.(check bool) "true fragments still complete" true (String.equal b body)
+  | None -> Alcotest.fail "never completed"
+
+let test_reassembly_rejects_bad_geometry () =
+  let r = Packet.Reassembly.create () in
+  let f = List.hd (Packet.fragment ~src:0 ~dst:1 ~msg_id:3 ~mtu:64 "hi") in
+  Alcotest.(check bool) "count=0" true
+    (Packet.Reassembly.offer r ~now:0 { f with Packet.count = 0 } = None);
+  Alcotest.(check bool) "negative count" true
+    (Packet.Reassembly.offer r ~now:0 { f with Packet.count = -1; Packet.index = -2 } = None);
+  Alcotest.(check bool) "negative index" true
+    (Packet.Reassembly.offer r ~now:0 { f with Packet.index = -1 } = None);
+  Alcotest.(check bool) "index beyond count" true
+    (Packet.Reassembly.offer r ~now:0 { f with Packet.index = 1 } = None);
+  Alcotest.(check int) "nothing buffered" 0 (Packet.Reassembly.pending r)
 
 let prop_fragment_reassemble_roundtrip =
   QCheck2.Test.make ~name:"fragment/reassemble roundtrip for any body and MTU" ~count:200
@@ -289,14 +364,19 @@ let test_network_jitter_reorders () =
 let tests =
   [
     Alcotest.test_case "CRC known vectors" `Quick test_crc_known_vectors;
+    Alcotest.test_case "CRC slicing vs reference" `Quick test_crc_slicing_matches_reference;
+    QCheck_alcotest.to_alcotest prop_crc_slicing_matches_reference;
     Alcotest.test_case "CRC incremental" `Quick test_crc_incremental_matches;
     Alcotest.test_case "CRC slice" `Quick test_crc_sub;
+    Alcotest.test_case "CRC substring" `Quick test_crc_substring;
     QCheck_alcotest.to_alcotest prop_crc_detects_single_bitflip;
     Alcotest.test_case "fragment roundtrip" `Quick test_fragment_roundtrip;
     Alcotest.test_case "empty body" `Quick test_fragment_empty_body;
     Alcotest.test_case "out of order + dupes" `Quick test_fragment_out_of_order_and_dupes;
     Alcotest.test_case "corruption detected" `Quick test_corruption_detected;
     Alcotest.test_case "reassembly GC" `Quick test_reassembly_gc;
+    Alcotest.test_case "reassembly count mismatch" `Quick test_reassembly_rejects_count_mismatch;
+    Alcotest.test_case "reassembly bad geometry" `Quick test_reassembly_rejects_bad_geometry;
     QCheck_alcotest.to_alcotest prop_fragment_reassemble_roundtrip;
     Alcotest.test_case "perfect link" `Quick test_link_perfect;
     Alcotest.test_case "loss rate" `Slow test_link_loss_rate;

@@ -55,6 +55,51 @@ let test_wal_tear_empty () =
   let rng = Rng.create ~seed:1 in
   Alcotest.(check bool) "empty log cannot tear" false (Wal.tear_tail wal rng ~p:1.0)
 
+(* The verified-prefix cache must never outlive the facts it caches: a
+   read primes it, tear_tail damages the newest record behind it, and
+   every subsequent read has to see the shorter intact prefix. *)
+let test_wal_cache_invalidated_by_tear () =
+  let wal = Wal.create () in
+  ignore (Wal.append wal "a");
+  ignore (Wal.append wal "b");
+  ignore (Wal.append wal "c");
+  Alcotest.(check int) "cache primed" 3 (Wal.length wal);
+  let rng = Rng.create ~seed:2 in
+  Alcotest.(check bool) "tear happened" true (Wal.tear_tail wal rng ~p:1.0);
+  Alcotest.(check int) "cached prefix pulled back" 2 (Wal.length wal);
+  ignore (Wal.append wal "d");
+  Alcotest.(check (list string)) "append hides behind the tear" [ "a"; "b" ] (Wal.records wal);
+  Alcotest.(check int) "repair drops tear and shadow" 2 (Wal.repair wal);
+  ignore (Wal.append wal "e");
+  Alcotest.(check (list string)) "log usable again" [ "a"; "b"; "e" ] (Wal.records wal)
+
+let test_wal_truncate_after_verify () =
+  let wal = Wal.create () in
+  for i = 0 to 4 do
+    ignore (Wal.append wal (string_of_int i))
+  done;
+  Alcotest.(check int) "verify everything first" 5 (Wal.length wal);
+  Wal.truncate_prefix wal ~upto:3;
+  Alcotest.(check (list string)) "tail survives the shift" [ "3"; "4" ] (Wal.records wal);
+  Alcotest.(check int) "length after shift" 2 (Wal.length wal);
+  let rng = Rng.create ~seed:3 in
+  ignore (Wal.tear_tail wal rng ~p:1.0);
+  Alcotest.(check (list string)) "tear still lands on the newest" [ "3" ] (Wal.records wal)
+
+let test_wal_storage_bytes_accounting () =
+  let wal = Wal.create () in
+  let l0 = Wal.append wal "abcd" in
+  ignore (Wal.append wal "ef") ;
+  (* 12 bytes of header accounting per record, damaged or not *)
+  Alcotest.(check int) "two records" (4 + 2 + 24) (Wal.storage_bytes wal);
+  let rng = Rng.create ~seed:4 in
+  ignore (Wal.tear_tail wal rng ~p:1.0);
+  Alcotest.(check int) "tear does not change accounting" (4 + 2 + 24) (Wal.storage_bytes wal);
+  ignore (Wal.repair wal);
+  Alcotest.(check int) "repair reclaims the tail" (4 + 12) (Wal.storage_bytes wal);
+  Wal.truncate_prefix wal ~upto:(l0 + 1);
+  Alcotest.(check int) "truncate reclaims the prefix" 0 (Wal.storage_bytes wal)
+
 let prop_wal_replay_prefix =
   QCheck2.Test.make ~name:"WAL replay returns exactly what was appended" ~count:200
     QCheck2.Gen.(list_size (int_range 0 50) (string_size (int_range 0 30)))
@@ -187,6 +232,9 @@ let tests =
     Alcotest.test_case "wal tear tail" `Quick test_wal_tear_tail;
     Alcotest.test_case "wal tear p=0" `Quick test_wal_tear_never;
     Alcotest.test_case "wal tear empty" `Quick test_wal_tear_empty;
+    Alcotest.test_case "wal verified cache vs tear" `Quick test_wal_cache_invalidated_by_tear;
+    Alcotest.test_case "wal truncate after verify" `Quick test_wal_truncate_after_verify;
+    Alcotest.test_case "wal storage accounting" `Quick test_wal_storage_bytes_accounting;
     QCheck_alcotest.to_alcotest prop_wal_replay_prefix;
     Alcotest.test_case "store basics" `Quick test_store_basics;
     Alcotest.test_case "store fold" `Quick test_store_fold;

@@ -124,6 +124,28 @@ let test_wal_bad_crc_hides_suffix () =
   ignore (Wal.append wal "d");
   Alcotest.(check (list string)) "log usable again" [ "a"; "d" ] (Wal.records wal)
 
+(* A long log exercises the verified-prefix cache where it matters: reads
+   after the first must not change what replay sees, and a torn tail must
+   still lose exactly the newest record. *)
+let test_long_log_torn_tail () =
+  let wal = Wal.create () in
+  for i = 0 to 999 do
+    ignore (Wal.append wal (string_of_int i))
+  done;
+  Alcotest.(check int) "all intact" 1000 (Wal.length wal);
+  let rng = Rng.create ~seed:11 in
+  ignore (Wal.tear_tail wal rng ~p:1.0);
+  Alcotest.(check int) "exactly the newest lost" 999 (Wal.length wal);
+  let count () =
+    let n = ref 0 in
+    Wal.replay wal (fun _ _ -> incr n);
+    !n
+  in
+  Alcotest.(check int) "replay = length" 999 (count ());
+  Alcotest.(check int) "replay idempotent" 999 (count ());
+  Alcotest.(check int) "repair drops one" 1 (Wal.repair wal);
+  Alcotest.(check int) "post-repair length" 999 (Wal.length wal)
+
 let tests =
   [
     Alcotest.test_case "recover is idempotent" `Quick test_recover_idempotent;
@@ -136,4 +158,6 @@ let tests =
     Alcotest.test_case "torn tail after checkpoint" `Quick test_torn_tail_after_checkpoint;
     Alcotest.test_case "bad CRC is a replay barrier until repaired" `Quick
       test_wal_bad_crc_hides_suffix;
+    Alcotest.test_case "long log: torn tail and idempotent replay" `Quick
+      test_long_log_torn_tail;
   ]

@@ -185,6 +185,48 @@ let test_codec_malformed_input () =
   | Error (Codec.Malformed _) -> ()
   | _ -> Alcotest.fail "truncated must fail"
 
+let test_codec_adversarial_length () =
+  (* A string tag followed by a varint length of 2^62-1: adding it to the
+     read position wraps negative, so a sum-based bounds check would pass
+     and the decoder would die in String.sub.  Must be a clean Malformed. *)
+  let huge = "\x05\xff\xff\xff\xff\xff\xff\xff\xff\x3f" in
+  (match Codec.decode huge with
+  | Error (Codec.Malformed _) -> ()
+  | Ok _ -> Alcotest.fail "absurd length accepted"
+  | Error e -> Alcotest.failf "wrong error: %a" Codec.pp_error e);
+  (* and a varint that decodes to a negative length outright *)
+  let negative = "\x05\xff\xff\xff\xff\xff\xff\xff\xff\x7f" in
+  match Codec.decode negative with
+  | Error (Codec.Malformed _) -> ()
+  | Ok _ -> Alcotest.fail "negative length accepted"
+  | Error e -> Alcotest.failf "wrong error: %a" Codec.pp_error e
+
+let test_codec_encoder_reuse () =
+  let enc = Codec.encoder () in
+  let values =
+    [
+      Value.unit;
+      Value.int 42;
+      Value.str (String.make 300 'x');
+      Value.record [ ("p", Value.port sample_port); ("t", Value.token sample_token) ];
+      Value.str "";
+    ]
+  in
+  (* same bytes as the one-shot API, across repeated reuse of one handle *)
+  List.iter
+    (fun v ->
+      Alcotest.(check string) "encode_with = encode" (Codec.encode_exn v)
+        (Codec.encode_with_exn enc v))
+    values;
+  (* an error must not poison the handle for the next message *)
+  let small = Codec.encoder ~config:{ Codec.default_config with max_message = 8 } () in
+  (match Codec.encode_with small (Value.str (String.make 64 'y')) with
+  | Error (Codec.Message_too_long _) -> ()
+  | _ -> Alcotest.fail "expected Message_too_long");
+  Alcotest.(check string) "handle survives an error"
+    (Codec.encode_exn Value.unit)
+    (Codec.encode_with_exn small Value.unit)
+
 let test_codec_trailing_bytes () =
   let s = Codec.encode_exn Value.unit ^ "junk" in
   match Codec.decode s with
@@ -338,6 +380,8 @@ let tests =
     Alcotest.test_case "codec string limit" `Quick test_codec_string_limit;
     Alcotest.test_case "codec message limit" `Quick test_codec_message_limit;
     Alcotest.test_case "codec malformed" `Quick test_codec_malformed_input;
+    Alcotest.test_case "codec adversarial length" `Quick test_codec_adversarial_length;
+    Alcotest.test_case "codec encoder reuse" `Quick test_codec_encoder_reuse;
     Alcotest.test_case "codec trailing bytes" `Quick test_codec_trailing_bytes;
     QCheck_alcotest.to_alcotest prop_codec_roundtrip;
     QCheck_alcotest.to_alcotest prop_codec_size_estimate;
