@@ -1,0 +1,83 @@
+(* Paper-invariant and determinism static analysis over the tree:
+
+     dcp_lint.exe [--root DIR] [--dirs a,b,c] [--baseline FILE]
+                  [--json FILE] [--update-baseline] [--quiet]
+
+   Exit 0 when every finding is baselined, 1 when active findings remain,
+   2 on usage or internal errors.  `--update-baseline` rewrites the
+   baseline to cover every current finding (review the diff before
+   committing it — that is the documented path for accepting a new
+   grandfathered finding). *)
+
+module Driver = Dcp_lint.Driver
+module Baseline = Dcp_lint.Baseline
+module Report = Dcp_lint.Report
+
+let usage () =
+  prerr_endline
+    "usage: dcp_lint.exe [--root DIR] [--dirs a,b,c] [--baseline FILE] [--json FILE]\n\
+    \       [--update-baseline] [--quiet]";
+  exit 2
+
+let () =
+  let root = ref "." in
+  let dirs = ref Driver.default_dirs in
+  let baseline_path = ref "lint_baseline.txt" in
+  let json_path = ref None in
+  let update = ref false in
+  let quiet = ref false in
+  let rec parse_args = function
+    | [] -> ()
+    | "--root" :: v :: rest ->
+        root := v;
+        parse_args rest
+    | "--dirs" :: v :: rest ->
+        dirs := String.split_on_char ',' v;
+        parse_args rest
+    | "--baseline" :: v :: rest ->
+        baseline_path := v;
+        parse_args rest
+    | "--json" :: v :: rest ->
+        json_path := Some v;
+        parse_args rest
+    | "--update-baseline" :: rest ->
+        update := true;
+        parse_args rest
+    | "--quiet" :: rest ->
+        quiet := true;
+        parse_args rest
+    | _ -> usage ()
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let baseline_path =
+    if Filename.is_relative !baseline_path then Filename.concat !root !baseline_path
+    else !baseline_path
+  in
+  let outcome =
+    try Driver.run ~dirs:!dirs ~root:!root ~baseline_path ()
+    with exn ->
+      Printf.eprintf "dcp_lint: %s\n" (Printexc.to_string exn);
+      exit 2
+  in
+  (match !json_path with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Report.render outcome.Driver.report);
+      close_out oc);
+  if !update then begin
+    Baseline.save ~path:baseline_path outcome.Driver.findings;
+    if not !quiet then
+      Printf.printf "dcp_lint: wrote %d baseline entries to %s\n"
+        (List.length
+           (List.sort_uniq String.compare
+              (List.map Dcp_lint.Finding.key outcome.Driver.findings)))
+        baseline_path
+  end
+  else begin
+    (* --quiet silences the all-clear summary only; active findings must
+       always reach the build log with their file:line diagnostics. *)
+    if (not !quiet) || outcome.Driver.active <> [] then
+      Format.printf "%a@?" Driver.pp_outcome outcome;
+    if outcome.Driver.active <> [] then exit 1
+  end

@@ -135,7 +135,8 @@ let rebuild state store =
   Hashtbl.reset state.table;
   Hashtbl.reset state.counters;
   let waitlisted = ref [] in
-  Store.fold store ~init:() ~f:(fun ~key value () ->
+  List.iter
+    (fun (key, value) ->
       match String.split_on_char ':' key with
       | [ "r"; date; passenger ] ->
           let seats = seats_for state (int_of_string date) in
@@ -148,14 +149,22 @@ let rebuild state store =
           | Value.Tuple [ Value.Str passenger; Value.Int date ] ->
               Hashtbl.replace state.holds (int_of_string txid) (passenger, date)
           | _ -> ())
-      | _ -> ());
+      | _ -> ())
+    (Store.to_alist store);
   (* Waitlists are rebuilt in their original arrival order. *)
+  let waitlist_order (s1, d1, p1) (s2, d2, p2) =
+    let c = Int.compare s1 s2 in
+    if c <> 0 then c
+    else
+      let c = Int.compare d1 d2 in
+      if c <> 0 then c else String.compare p1 p2
+  in
   List.iter
     (fun (seq, date, passenger) ->
       state.waitlist_seq <- Int.max state.waitlist_seq seq;
       let seats = seats_for state date in
       seats.waitlist <- seats.waitlist @ [ passenger ])
-    (List.sort compare !waitlisted)
+    (List.sort waitlist_order !waitlisted)
 
 (* ------------------------------------------------------------------ *)
 (* Request handling under the three organizations                      *)
@@ -290,7 +299,7 @@ let serve_one_at_a_time ctx state =
     match Runtime.receive ctx [ admin_port; request_port ] with
     | `Timeout -> loop ()
     | `Msg (p, msg) ->
-        if Port.name p = Port.name admin_port then handle_admin ctx state msg
+        if Port_name.equal (Port.name p) (Port.name admin_port) then handle_admin ctx state msg
         else if not (handle_2pc ctx state msg) then begin
           Runtime.compute ctx state.service_time;
           perform ctx state msg
@@ -334,7 +343,7 @@ let serve_serializer ctx state =
     match Runtime.receive ctx [ admin_port; request_port ] with
     | `Timeout -> loop ()
     | `Msg (p, msg) ->
-        if Port.name p = Port.name admin_port then handle_admin ctx state msg
+        if Port_name.equal (Port.name p) (Port.name admin_port) then handle_admin ctx state msg
         else if not (handle_2pc ctx state msg) then dispatch msg;
         loop ()
   in
@@ -350,7 +359,7 @@ let serve_monitor ctx state =
     match Runtime.receive ctx [ admin_port; request_port ] with
     | `Timeout -> loop ()
     | `Msg (p, msg) ->
-        if Port.name p = Port.name admin_port then begin
+        if Port_name.equal (Port.name p) (Port.name admin_port) then begin
           handle_admin ctx state msg;
           loop ()
         end
@@ -484,10 +493,12 @@ type ledger = {
 
 let ledger_of_store store =
   let reserved = ref [] and waitlisted = ref [] and open_holds = ref 0 in
-  Store.fold store ~init:() ~f:(fun ~key _value () ->
+  List.iter
+    (fun (key, _value) ->
       match String.split_on_char ':' key with
       | [ "r"; date; passenger ] -> reserved := (int_of_string date, passenger) :: !reserved
       | [ "w"; date; passenger ] -> waitlisted := (int_of_string date, passenger) :: !waitlisted
       | [ "h"; _txid ] -> incr open_holds
-      | _ -> ());
-  { reserved = !reserved; waitlisted = !waitlisted; open_holds = !open_holds }
+      | _ -> ())
+    (Store.to_alist store);
+  { reserved = List.rev !reserved; waitlisted = List.rev !waitlisted; open_holds = !open_holds }

@@ -209,12 +209,15 @@ let def : Runtime.def =
           | None -> Runtime.self_destruct ctx
           | Some encoded ->
               let branches = parse_branches (Value.get_list (Codec.decode_exn encoded)) in
-              (* Re-drive every transfer that was in flight at the crash. *)
+              (* Re-drive every transfer that was in flight at the crash,
+                 in key order so recovery spawns deterministically. *)
               let pending =
-                Store.fold (Runtime.store ctx) ~init:[] ~f:(fun ~key value acc ->
+                List.filter_map
+                  (fun (key, value) ->
                     if String.length key > 2 && String.equal (String.sub key 0 2) "t:" then
-                      decode_record value :: acc
-                    else acc)
+                      Some (decode_record value)
+                    else None)
+                  (Store.to_alist (Runtime.store ctx))
               in
               List.iter
                 (fun r ->

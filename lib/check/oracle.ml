@@ -125,8 +125,16 @@ let bank_model ~initial ~ledger ?(model_skips = 0) () =
                   end)
         in
         let* () = replay 0 entries in
-        Hashtbl.fold
-          (fun (branch, account) expected acc ->
+        (* Check model entries in (branch, account) order so a multi-account
+           divergence always reports the same verdict text. *)
+        let entries =
+          Hashtbl.fold (fun key expected acc -> (key, expected) :: acc) model []
+          |> List.sort (fun ((b1, a1), _) ((b2, a2), _) ->
+                 let c = Int.compare b1 b2 in
+                 if c <> 0 then c else String.compare a1 a2)
+        in
+        List.fold_left
+          (fun acc ((branch, account), expected) ->
             let* () = acc in
             match Branch.balance_in_store stores.(branch) ~account with
             | Some actual when actual = expected -> Ok ()
@@ -135,7 +143,7 @@ let bank_model ~initial ~ledger ?(model_skips = 0) () =
                   (Printf.sprintf "branch %d account %s holds %d, model says %d" branch account
                      actual expected)
             | None -> Error (Printf.sprintf "branch %d account %s missing" branch account))
-          model (Ok ()));
+          (Ok ()) entries);
   }
 
 (* ---- airline ---- *)
@@ -163,21 +171,26 @@ let airline_seat_ledger ~capacity ~waitlist_capacity =
             else begin
               let ledger = Flight.ledger_of_store store in
               let check_dates table bound what dedup =
-                Hashtbl.fold
-                  (fun date passengers acc ->
-                    let* () = acc in
-                    if List.length passengers > bound then
-                      Error
-                        (Printf.sprintf "flight %d date %d %s: %d of %d" (Runtime.guardian_id g)
-                           date what (List.length passengers) bound)
-                    else if
-                      dedup
-                      && List.length (List.sort_uniq String.compare passengers)
-                         <> List.length passengers
-                    then Error (Printf.sprintf "flight %d date %d has a duplicated passenger"
+                (* Dates in ascending order: the first offending date is the
+                   one reported, independent of hash layout. *)
+                Hashtbl.fold (fun date passengers acc -> (date, passengers) :: acc) table []
+                |> List.sort (fun (d1, _) (d2, _) -> Int.compare d1 d2)
+                |> List.fold_left
+                     (fun acc (date, passengers) ->
+                       let* () = acc in
+                       if List.length passengers > bound then
+                         Error
+                           (Printf.sprintf "flight %d date %d %s: %d of %d"
+                              (Runtime.guardian_id g) date what (List.length passengers) bound)
+                       else if
+                         dedup
+                         && List.length (List.sort_uniq String.compare passengers)
+                            <> List.length passengers
+                       then
+                         Error (Printf.sprintf "flight %d date %d has a duplicated passenger"
                                   (Runtime.guardian_id g) date)
-                    else Ok ())
-                  table (Ok ())
+                       else Ok ())
+                     (Ok ())
               in
               let* () = check_dates (group_by_date ledger.Flight.reserved) capacity "overbooked" true in
               check_dates (group_by_date ledger.Flight.waitlisted) waitlist_capacity
@@ -203,16 +216,19 @@ let itinerary_atomicity ~outcomes =
         in
         (* all-or-nothing: a passenger seen on any flight must be on all *)
         let* () =
+          let passengers_of set =
+            List.sort String.compare (Hashtbl.fold (fun p () acc -> p :: acc) set [])
+          in
           List.fold_left
             (fun acc set ->
               let* () = acc in
-              Hashtbl.fold
-                (fun passenger () acc ->
+              List.fold_left
+                (fun acc passenger ->
                   let* () = acc in
                   if List.for_all (fun other -> Hashtbl.mem other passenger) passenger_sets then
                     Ok ()
                   else Error (Printf.sprintf "%s holds some legs but not all" passenger))
-                set (Ok ()))
+                acc (passengers_of set))
             (Ok ()) passenger_sets
         in
         (* every client told "booked" really holds its seats *)

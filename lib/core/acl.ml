@@ -5,7 +5,7 @@ module Pair = struct
   type t = string * string
 
   let equal (a1, b1) (a2, b2) = String.equal a1 a2 && String.equal b1 b2
-  let hash = Hashtbl.hash
+  let hash (a, b) = (String.hash a * 0x01000193) lxor String.hash b
 end
 
 module Pair_tbl = Hashtbl.Make (Pair)
@@ -40,9 +40,10 @@ let grant_group t ~group ~permission = Pair_tbl.replace t.group_grants (group, p
 let revoke_group t ~group ~permission = Pair_tbl.remove t.group_grants (group, permission)
 
 let groups_of t principal =
-  Pair_tbl.fold
-    (fun (p, group) () acc -> if String.equal p principal then group :: acc else acc)
-    t.membership []
+  List.sort String.compare
+    (Pair_tbl.fold
+       (fun (p, group) () acc -> if String.equal p principal then group :: acc else acc)
+       t.membership [])
 
 let check t ~principal ~permission =
   List.mem permission t.public

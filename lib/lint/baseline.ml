@@ -1,0 +1,55 @@
+(* The committed allowlist of grandfathered findings, one Finding.key per
+   line.  Keys omit line numbers (see Finding.key), so entries survive
+   unrelated edits; a key matches every current finding with the same
+   (rule, file, context, token), which deliberately collapses multiple
+   occurrences inside one binding into one entry. *)
+
+type t = { keys : (string, bool ref) Hashtbl.t }
+
+let empty () = { keys = Hashtbl.create 16 }
+
+let add t key = if not (Hashtbl.mem t.keys key) then Hashtbl.replace t.keys key (ref false)
+
+let load ~path =
+  let t = empty () in
+  if Sys.file_exists path then begin
+    let ic = open_in path in
+    (try
+       while true do
+         let line = String.trim (input_line ic) in
+         if String.length line > 0 && line.[0] <> '#' then add t line
+       done
+     with End_of_file -> ());
+    close_in ic
+  end;
+  t
+
+let apply t findings =
+  List.iter
+    (fun f ->
+      match Hashtbl.find_opt t.keys (Finding.key f) with
+      | Some hit ->
+          hit := true;
+          f.Finding.baselined <- true
+      | None -> ())
+    findings
+
+(* Entries that matched nothing: the grandfathered finding was fixed (or its
+   binding renamed).  Reported as warnings, pruned by --update-baseline. *)
+let stale t =
+  Hashtbl.fold (fun key hit acc -> if !hit then acc else key :: acc) t.keys []
+  |> List.sort String.compare
+
+let header =
+  [
+    "# dcp_lint baseline: grandfathered findings, one `rule file context/token` key";
+    "# per line.  Regenerate with `dcp_lint.exe --update-baseline` after reviewing";
+    "# that any new entry really is benign (see DESIGN.md, \"Lint\").";
+  ]
+
+let save ~path findings =
+  let keys = List.sort_uniq String.compare (List.map Finding.key findings) in
+  let oc = open_out path in
+  List.iter (fun l -> output_string oc (l ^ "\n")) header;
+  List.iter (fun k -> output_string oc (k ^ "\n")) keys;
+  close_out oc

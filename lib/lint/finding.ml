@@ -1,0 +1,60 @@
+type t = {
+  rule : string;
+  file : string;
+  line : int;
+  col : int;
+  context : string;
+  token : string;
+  message : string;
+  mutable baselined : bool;
+}
+
+let v ~rule ~file ~line ~col ~context ~token message =
+  { rule; file; line; col; context; token; message; baselined = false }
+
+(* The baseline key deliberately omits line/column so grandfathered findings
+   survive unrelated edits to the same file; a new offending call in a
+   different binding (or a different callee in the same binding) still gets a
+   fresh key. *)
+let key f = Printf.sprintf "%s %s %s/%s" f.rule f.file f.context f.token
+
+let order a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c
+      else
+        let c = String.compare a.rule b.rule in
+        if c <> 0 then c else String.compare a.message b.message
+
+let pp ppf f =
+  Format.fprintf ppf "%s:%d:%d: [%s] %s" f.file f.line f.col f.rule f.message
+
+let to_string f = Format.asprintf "%a" pp f
+
+type family = Isolation | Transmittability | Determinism | Hygiene
+
+let family_name = function
+  | Isolation -> "isolation"
+  | Transmittability -> "transmittability"
+  | Determinism -> "determinism"
+  | Hygiene -> "hygiene"
+
+(* Every rule the pass can emit, with its family: the report lists them so
+   downstream tooling need not hardcode the set. *)
+let rules =
+  [
+    ("layer-dag", Isolation);
+    ("guardian-isolation", Isolation);
+    ("mutable-payload", Transmittability);
+    ("wall-clock", Determinism);
+    ("hashtbl-order", Determinism);
+    ("poly-compare", Hygiene);
+    ("obj-magic", Hygiene);
+    ("mli-missing", Hygiene);
+    ("parse-error", Hygiene);
+  ]

@@ -1,0 +1,34 @@
+(** The machine-readable lint report ([dcp.lint.report/v1]).
+
+    Self-contained JSON: a renderer plus a parser covering exactly the
+    emitted subset, so the schema round-trips without external
+    dependencies (same approach as the bench/check emitters). *)
+
+val schema : string
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+val render : json -> string
+
+exception Parse_error of string
+
+val parse : string -> json
+(** Raises {!Parse_error} on malformed input. *)
+
+val member : string -> json -> json option
+
+val build :
+  root:string ->
+  files_scanned:int ->
+  layers:Layers.lib list ->
+  findings:Finding.t list ->
+  stale_baseline:string list ->
+  json
+(** Assemble the report document.  [findings] should already be sorted and
+    baseline-marked; layers are re-sorted by (rank, dir). *)

@@ -37,12 +37,13 @@ let serve ctx =
                 | None -> ("unknown_user", []))
             | "users", [] ->
                 let users =
-                  Store.fold store ~init:[] ~f:(fun ~key _ acc ->
-                      match String.split_on_char ':' key with
-                      | "u" :: rest -> String.concat ":" rest :: acc
-                      | _ -> acc)
+                  List.sort String.compare
+                    (Store.fold store ~init:[] ~f:(fun ~key _ acc ->
+                         match String.split_on_char ':' key with
+                         | "u" :: rest -> String.concat ":" rest :: acc
+                         | _ -> acc))
                 in
-                ("users", [ Value.list (List.map Value.str (List.sort String.compare users)) ])
+                ("users", [ Value.list (List.map Value.str users) ])
             | _ -> ("failure", [ Value.str "unknown directory request" ])));
     loop ()
   in

@@ -62,7 +62,12 @@ let headers state =
           :: acc
       | _ -> acc)
     state.mail []
-  |> List.sort compare
+  |> List.sort (fun (s1, t1, a1) (s2, t2, a2) ->
+         let c = Int.compare s1 s2 in
+         if c <> 0 then c
+         else
+           let c = String.compare t1 t2 in
+           if c <> 0 then c else String.compare a1 a2)
 
 let handle_delivery ctx state msg =
   Rpc.serve_always ctx msg ~f:(fun command args ->

@@ -114,7 +114,11 @@ let retransmit_loop s () =
   let rec loop () =
     if not s.closed then begin
       Runtime.sleep s.sctx s.retransmit_every;
-      Hashtbl.iter (fun seq payload -> transmit s seq payload) (Hashtbl.copy s.unacked);
+      (* Retransmit in sequence order: the receiver sees a deterministic
+         packet stream for a given unacked set, whatever the hash layout. *)
+      Hashtbl.fold (fun seq payload acc -> (seq, payload) :: acc) s.unacked []
+      |> List.sort (fun (s1, _) (s2, _) -> Int.compare s1 s2)
+      |> List.iter (fun (seq, payload) -> transmit s seq payload);
       loop ()
     end
   in

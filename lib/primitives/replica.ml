@@ -23,6 +23,10 @@ let port_type =
    tiebreak. *)
 type stamp = int * int
 
+let stamp_compare (c1, o1) (c2, o2) =
+  let c = Int.compare c1 c2 in
+  if c <> 0 then c else Int.compare o1 o2
+
 type state = {
   replica_id : int;
   sync_every : Clock.time;
@@ -44,7 +48,7 @@ let observe_stamp state (counter, _) = state.clock <- Int.max state.clock counte
 let apply state ~key ~value ~stamp =
   observe_stamp state stamp;
   match Hashtbl.find_opt state.table key with
-  | Some (_, existing) when existing >= stamp -> false
+  | Some (_, existing) when stamp_compare existing stamp >= 0 -> false
   | Some _ | None ->
       Hashtbl.replace state.table key (value, stamp);
       true
@@ -61,9 +65,12 @@ let broadcast_gossip ctx state ~key ~value ~stamp =
    re-gossiping winners.  For the modest registers this guards, shipping
    values with the digest keeps it one round. *)
 let send_sync ctx state =
+  (* Digest entries in key order: the wire image of the digest is a pure
+     function of the table's contents, not of its hash layout. *)
   let digest =
-    Hashtbl.fold (fun key (_, stamp) acc -> Value.tuple [ Value.str key; stamp_value stamp ] :: acc)
-      state.table []
+    Hashtbl.fold (fun key (_, stamp) acc -> (key, stamp) :: acc) state.table []
+    |> List.sort (fun (k1, _) (k2, _) -> String.compare k1 k2)
+    |> List.map (fun (key, stamp) -> Value.tuple [ Value.str key; stamp_value stamp ])
   in
   (* reply_to carries our own request port so peers can gossip back what we
      are missing *)
@@ -83,13 +90,17 @@ let handle_sync_digest ctx state ~reply_gossip_to digest =
       | Value.Tuple [ Value.Str key; stamp ] -> Hashtbl.replace claimed key (stamp_of_value stamp)
       | _ -> ())
     digest;
-  Hashtbl.iter
-    (fun key (value, stamp) ->
-      let theirs = Hashtbl.find_opt claimed key in
-      if theirs = None || Option.get theirs < stamp then
-        Runtime.send ctx ~to_:reply_gossip_to "gossip"
-          [ Value.str key; value; stamp_value stamp ])
-    state.table
+  Hashtbl.fold (fun key entry acc -> (key, entry) :: acc) state.table []
+  |> List.sort (fun (k1, _) (k2, _) -> String.compare k1 k2)
+  |> List.iter (fun (key, (value, stamp)) ->
+         let newer_than_claimed =
+           match Hashtbl.find_opt claimed key with
+           | None -> true
+           | Some theirs -> stamp_compare theirs stamp < 0
+         in
+         if newer_than_claimed then
+           Runtime.send ctx ~to_:reply_gossip_to "gossip"
+             [ Value.str key; value; stamp_value stamp ])
 
 let serve ctx state =
   let request_port = Runtime.port ctx 0 in

@@ -201,12 +201,16 @@ let coordinate ctx ~txid ~participants ?(prepare_timeout = Clock.s 1) ?(ack_time
   decision
 
 let unacked_decisions store =
-  Store.fold store ~init:[] ~f:(fun ~key value acc ->
+  (* Key-sorted enumeration: recovery redelivers decisions in a
+     deterministic order. *)
+  List.filter_map
+    (fun (key, value) ->
       match String.split_on_char ':' key with
       | [ "2pc"; "c"; txid ] ->
           let decision, ports, acked = decode_decision value in
-          if acked then acc else (int_of_string txid, decision, ports) :: acc
-      | _ -> acc)
+          if acked then None else Some (int_of_string txid, decision, ports)
+      | _ -> None)
+    (Store.to_alist store)
 
 let redeliver_decisions ctx =
   let store = Runtime.store ctx in

@@ -59,9 +59,18 @@ let fold t ~init ~f =
   ensure_live t;
   Hashtbl.fold (fun key value acc -> f ~key value acc) t.table init
 
+let sorted_pairs table =
+  List.sort
+    (fun (k1, _) (k2, _) -> String.compare k1 k2)
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) table [])
+
+let to_alist t =
+  ensure_live t;
+  sorted_pairs t.table
+
 let checkpoint t =
   ensure_live t;
-  t.snapshot <- Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.table [];
+  t.snapshot <- sorted_pairs t.table;
   Wal.truncate_prefix t.wal ~upto:(Wal.next_lsn t.wal)
 
 let log_length t = Wal.length t.wal

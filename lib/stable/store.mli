@@ -18,6 +18,10 @@ val mem : t -> key:string -> bool
 val size : t -> int
 val fold : t -> init:'a -> f:(key:string -> string -> 'a -> 'a) -> 'a
 
+val to_alist : t -> (string * string) list
+(** All live pairs sorted by key — the deterministic way to enumerate a
+    store when the result feeds wire encoding, traces, or oracle verdicts. *)
+
 val checkpoint : t -> unit
 (** Snapshot the current table to stable storage and truncate the log. *)
 

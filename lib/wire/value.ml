@@ -31,7 +31,49 @@ let rec equal a b =
       _ ) ->
       false
 
-let compare = Stdlib.compare
+(* Structural, typed comparison.  Constructor ranks follow declaration
+   order, so the total order agrees with what Stdlib.compare used to give
+   for values of distinct constructors. *)
+let rank = function
+  | Unit -> 0
+  | Bool _ -> 1
+  | Int _ -> 2
+  | Real _ -> 3
+  | Str _ -> 4
+  | Listv _ -> 5
+  | Tuple _ -> 6
+  | Record _ -> 7
+  | Option _ -> 8
+  | Portv _ -> 9
+  | Tokenv _ -> 10
+  | Named _ -> 11
+
+let rec cmp a b =
+  match (a, b) with
+  | Unit, Unit -> 0
+  | Bool x, Bool y -> Bool.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Real x, Real y -> Float.compare x y
+  | Str x, Str y -> String.compare x y
+  | Listv x, Listv y | Tuple x, Tuple y -> List.compare cmp x y
+  | Record x, Record y ->
+      List.compare
+        (fun (n1, v1) (n2, v2) ->
+          let c = String.compare n1 n2 in
+          if c <> 0 then c else cmp v1 v2)
+        x y
+  | Option x, Option y -> Option.compare cmp x y
+  | Portv x, Portv y -> Port_name.compare x y
+  | Tokenv x, Tokenv y -> Token.compare x y
+  | Named (n1, v1), Named (n2, v2) ->
+      let c = String.compare n1 n2 in
+      if c <> 0 then c else cmp v1 v2
+  | ( ( Unit | Bool _ | Int _ | Real _ | Str _ | Listv _ | Tuple _ | Record _ | Option _
+      | Portv _ | Tokenv _ | Named _ ),
+      _ ) ->
+      Int.compare (rank a) (rank b)
+
+let compare = cmp
 
 let rec pp fmt = function
   | Unit -> Format.pp_print_string fmt "()"

@@ -36,7 +36,19 @@ let rec pp fmt = function
   | Tany -> Format.pp_print_string fmt "any"
 
 let to_string t = Format.asprintf "%a" pp t
-let equal (a : t) (b : t) = Stdlib.compare a b = 0
+let rec equal a b =
+  match (a, b) with
+  | Tunit, Tunit | Tbool, Tbool | Tint, Tint | Treal, Treal | Tstr, Tstr -> true
+  | Tport, Tport | Ttoken, Ttoken | Tany, Tany -> true
+  | Tlist x, Tlist y | Toption x, Toption y -> equal x y
+  | Ttuple x, Ttuple y -> List.equal equal x y
+  | Trecord x, Trecord y ->
+      List.equal (fun (n1, t1) (n2, t2) -> String.equal n1 n2 && equal t1 t2) x y
+  | Tnamed x, Tnamed y -> String.equal x y
+  | ( ( Tunit | Tbool | Tint | Treal | Tstr | Tlist _ | Ttuple _ | Trecord _ | Toption _
+      | Tport | Ttoken | Tnamed _ | Tany ),
+      _ ) ->
+      false
 
 let rec check t v =
   let fail () =

@@ -1,0 +1,6 @@
+(* Lint fixture: a Hashtbl.fold whose result escapes without a sort. *)
+let dump table = Hashtbl.fold (fun key value acc -> (key, value) :: acc) table []
+
+(* A sorted sibling that must NOT fire: the fold sits under a sort. *)
+let dump_sorted table =
+  List.sort compare_pairs (Hashtbl.fold (fun key value acc -> (key, value) :: acc) table [])

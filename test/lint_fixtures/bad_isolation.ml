@@ -1,0 +1,3 @@
+(* Lint fixture: scanned as if it lived in lib/airline/, so this reference
+   to the bank guardian library is a guardian-isolation violation. *)
+let peek_at_the_bank () = Dcp_bank.Branch.def_name

@@ -1,0 +1,3 @@
+(* Lint fixture: scanned as if it lived in lib/wire/ (layer 1), so this
+   upward reference to dcp_core (layer 4) is a layer-DAG back-edge. *)
+let reach_up () = Dcp_core.Runtime.noise

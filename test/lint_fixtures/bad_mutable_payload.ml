@@ -1,0 +1,3 @@
+(* Lint fixture: raw mutable values handed to send/reply. *)
+let ship ctx port = Runtime.send ctx ~to_:port "data" [| 1; 2; 3 |]
+let answer ctx port = Runtime.reply ctx ~to_:port "data" (ref 0)

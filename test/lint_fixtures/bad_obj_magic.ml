@@ -1,0 +1,2 @@
+(* Lint fixture: Obj.magic defeats the type system. *)
+let coerce x = Obj.magic x

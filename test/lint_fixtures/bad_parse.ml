@@ -1,0 +1,2 @@
+(* Lint fixture: does not parse; the linter must report it, not crash. *)
+let broken = (

@@ -1,0 +1,3 @@
+(* Lint fixture: polymorphic = on port names, and a polymorphic hash. *)
+let same_port a b = Port.name a = Port.name b
+let bucket = Hashtbl.hash

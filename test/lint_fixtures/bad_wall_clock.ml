@@ -1,0 +1,3 @@
+(* Lint fixture: wall-clock reads are nondeterministic state. *)
+let now () = Unix.gettimeofday ()
+let seeded () = Random.self_init ()

@@ -29,5 +29,6 @@ let () =
       ("chaos", Test_chaos.tests);
       ("fuzz", Test_fuzz.tests);
       ("check", Test_check.tests);
+      ("lint", Test_lint.tests);
       ("misc", Test_misc.tests);
     ]
