@@ -24,6 +24,7 @@ let registry =
     ("e9", Experiments.e9);
     ("e10", Experiments.e10);
     ("micro", Micro.run);
+    ("replica-rows", Micro.run_replica_gate);
   ]
 
 let () =

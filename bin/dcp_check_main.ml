@@ -47,7 +47,7 @@ let run_list () =
         s.Check.Scenario.descr
         (Format.asprintf "%a" Clock.pp s.Check.Scenario.default_horizon)
         s.Check.Scenario.default_workload)
-    (Check.Scenarios.all @ [ Check.Scenarios.bank_mutated ]);
+    Check.Scenarios.every;
   print_endline "Profiles:";
   List.iter (fun p -> Format.printf "  %a@." Check.Profile.pp p) Check.Profile.all;
   `Ok ()

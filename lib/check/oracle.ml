@@ -1,8 +1,11 @@
 module Runtime = Dcp_core.Runtime
 module Store = Dcp_stable.Store
+module Metrics = Dcp_sim.Metrics
 module Branch = Dcp_bank.Branch
 module Transfer = Dcp_bank.Transfer
 module Flight = Dcp_airline.Flight
+module Replica = Dcp_primitives.Replica
+module Reconcile = Dcp_primitives.Reconcile
 
 type t = {
   name : string;
@@ -144,6 +147,75 @@ let bank_model ~initial ~ledger ?(model_skips = 0) () =
                      actual expected)
             | None -> Error (Printf.sprintf "branch %d account %s missing" branch account))
           (Ok ()) entries);
+  }
+
+(* ---- replica ---- *)
+
+(* Anti-entropy has converged iff every live replica mirrors the same
+   key → stamp table ([Replica.table_in_store] is sorted by key, so plain
+   structural comparison is the convergence predicate).  Value equality
+   follows from stamp equality: last-writer-wins only stores a value under
+   the stamp that won, so two replicas agreeing on every stamp agree on
+   every value. *)
+let replica_tables_equal stores =
+  match List.map Replica.table_in_store stores with
+  | [] | [ _ ] -> Ok ()
+  | reference :: rest ->
+      let entry_to_string (key, stamp) =
+        Printf.sprintf "%s@%s" key (Reconcile.stamp_to_string stamp)
+      in
+      let entry_equal (k1, s1) (k2, s2) =
+        String.equal k1 k2 && Reconcile.stamp_compare s1 s2 = 0
+      in
+      (* Report only the first differing entry: at 100+ replicas a full
+         table dump would drown the verdict, and the first difference is
+         deterministic because tables are key-sorted. *)
+      let rec first_difference a b =
+        match (a, b) with
+        | [], [] -> "none"
+        | e :: _, [] -> Printf.sprintf "%s missing" (entry_to_string e)
+        | [], e :: _ -> Printf.sprintf "%s extra" (entry_to_string e)
+        | e1 :: r1, e2 :: r2 ->
+            if entry_equal e1 e2 then first_difference r1 r2
+            else Printf.sprintf "%s vs %s" (entry_to_string e1) (entry_to_string e2)
+      in
+      let rec first_divergence i = function
+        | [] -> Ok ()
+        | table :: rest ->
+            if List.equal entry_equal reference table then first_divergence (i + 1) rest
+            else
+              Error
+                (Printf.sprintf
+                   "replica %d diverges from replica 0 (%d vs %d keys; first: %s)" i
+                   (List.length table) (List.length reference)
+                   (first_difference reference table))
+      in
+      first_divergence 1 rest
+
+let replica_convergence =
+  {
+    name = "replica_convergence";
+    check =
+      (fun world ->
+        let* stores = live_stores world ~def_name:Replica.def_name in
+        replica_tables_equal stores);
+  }
+
+let replica_sync_budget ~budget =
+  {
+    name = "replica_sync_budget";
+    check =
+      (fun world ->
+        let reg = Runtime.metrics world in
+        let over = Metrics.count (Metrics.counter reg Replica.metric_over_budget) in
+        let max_bytes =
+          int_of_float (Metrics.gauge_value (Metrics.gauge reg Replica.metric_max_bytes))
+        in
+        if over > 0 then
+          Error (Printf.sprintf "%d sync messages exceeded the %d-byte budget" over budget)
+        else if max_bytes > budget then
+          Error (Printf.sprintf "largest sync message was %d bytes, budget %d" max_bytes budget)
+        else Ok ());
   }
 
 (* ---- airline ---- *)

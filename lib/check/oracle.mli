@@ -60,6 +60,19 @@ val bank_model :
     the deliberate mutation used by the harness self-test; leave it at 0
     for an honest oracle. *)
 
+(** {1 Replica oracles} *)
+
+val replica_convergence : t
+(** Anti-entropy convergence at quiescence: every live replica's mirrored
+    key → stamp table ({!Dcp_primitives.Replica.table_in_store}) is
+    identical.  Value agreement follows: last-writer-wins stores a value
+    only under the stamp that won it. *)
+
+val replica_sync_budget : budget:int -> t
+(** Every sync message respected the byte budget: the
+    [replica.sync.over_budget] counter is zero and the largest recorded
+    sync payload ([replica.sync.max_bytes]) is within [budget]. *)
+
 (** {1 Airline oracles} *)
 
 val airline_seat_ledger : capacity:int -> waitlist_capacity:int -> t

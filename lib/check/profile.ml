@@ -14,6 +14,10 @@ let base_links =
     ("lan", Link.lan);
     ("wan", Link.wan);
     ("lossy", Link.lossy 0.05);
+    (* Long-haul latency and jitter combined with real loss: the replica
+       convergence scenarios' home profile, and the harshest delivery model
+       in the matrix. *)
+    ("wan+lossy", { Link.wan with Link.loss = 0.05 });
   ]
 
 let calm name link = { name; link; crash_every = None; crash_outage = Clock.zero }

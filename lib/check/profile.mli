@@ -18,8 +18,8 @@ type t = {
 }
 
 val all : t list
-(** The full matrix: [perfect], [lan], [wan], [lossy] links, each with and
-    without a crash-restart schedule ([<link>+crash]). *)
+(** The full matrix: [perfect], [lan], [wan], [lossy], [wan+lossy] links,
+    each with and without a crash-restart schedule ([<link>+crash]). *)
 
 val names : string list
 

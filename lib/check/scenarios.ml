@@ -269,7 +269,125 @@ let itinerary =
     run = run_itinerary;
   }
 
-let all = [ bank; airline; itinerary ]
-let every = all @ [ bank_mutated ]
+(* ---- replica: anti-entropy gossip convergence at scale ---- *)
+
+module Replica = Dcp_primitives.Replica
+module Metrics = Dcp_sim.Metrics
+module Store = Dcp_stable.Store
+
+let replica_sync_every = Clock.ms 250
+let replica_fanout = 2
+
+(* Small enough that the workload's table needs several digest windows, so
+   the sweep exercises cursor continuation, not just single-window sync. *)
+let replica_budget = 2048
+
+let run_replica ~replicas:n (params : Scenario.params) =
+  let profile = params.profile in
+  let config = { Runtime.default_config with crash_tear_p = 0.0 } in
+  let world =
+    Runtime.create_world ~seed:params.seed
+      ~topology:(Topology.full_mesh ~n:(n + 1) profile.Profile.link)
+      ~config ()
+  in
+  let nodes = List.init n Fun.id in
+  let ports =
+    Array.of_list
+      (Replica.create_group world ~nodes ~sync_every:replica_sync_every
+         ~fanout:replica_fanout ~byte_budget:replica_budget ())
+  in
+  let written = ref 0 in
+  let gap = Int.max (Clock.ms 2) (params.horizon / Int.max 1 params.workload) in
+  Chaos.driver world ~at:n ~name:"check_replica_driver" (fun ctx ->
+      let rng = Rng.split (Runtime.world_rng world) in
+      Runtime.sleep ctx (Clock.ms 100);
+      for i = 1 to params.workload do
+        let key = Printf.sprintf "key%04d" i in
+        let replica = ports.(Rng.int rng n) in
+        (* Pinned request ids: generated ones come from a process-global
+           counter and would break run-to-run fingerprint determinism. *)
+        (match
+           Rpc.call ctx ~to_:replica ~timeout:(Clock.ms 500) ~attempts:3
+             ~request_id:(4_000_000_000 + i) "write"
+             [ Value.str key; Value.int i ]
+         with
+        | Rpc.Reply ("written", _) -> incr written
+        | Rpc.Reply _ | Rpc.Failure_msg _ | Rpc.Timeout -> ());
+        Runtime.sleep ctx (gap + Rng.int rng (Int.max 1 (gap / 2)))
+      done);
+  Chaos.schedule_crashes world ~rng:(chaos_rng params.seed) ~profile ~nodes
+    ~horizon:params.horizon;
+  Runtime.run_for world (params.horizon + Clock.s 5);
+  (* Quiescence probe: step virtual time until every live table agrees.
+     The virtual time elapsed past the fault horizon when agreement first
+     holds is the convergence-time measurement; LWW tables are monotone in
+     stamp order and the workload has stopped, so once equal they stay
+     equal. *)
+  let step = Clock.ms 250 in
+  let max_steps = 400 in
+  let converged () = Result.is_ok (Oracle.check_all [ Oracle.replica_convergence ] world) in
+  let rec probe i =
+    if converged () then true
+    else if i >= max_steps then false
+    else begin
+      Runtime.run_for world step;
+      probe (i + 1)
+    end
+  in
+  let convergence_ms =
+    if probe 0 then (Runtime.now world - params.horizon) / Clock.ms 1 else -1
+  in
+  let keys =
+    match Runtime.find_guardians world ~def_name:Replica.def_name with
+    | [] -> 0
+    | g :: _ -> List.length (Replica.table_in_store (Runtime.guardian_store g))
+  in
+  let metric name = Metrics.count (Metrics.counter (Runtime.metrics world) name) in
+  let sync_msgs = metric Replica.metric_sync_msgs in
+  let sync_bytes = metric Replica.metric_sync_bytes in
+  let verdict =
+    if !written = 0 then Scenario.Fail "no write was acknowledged"
+    else
+      verdict_of
+        [ Oracle.replica_convergence; Oracle.replica_sync_budget ~budget:replica_budget ]
+        world
+  in
+  {
+    Scenario.verdict;
+    fingerprint =
+      world_fingerprint world
+        (Printf.sprintf " keys=%d conv=%d sync=%d" keys convergence_ms sync_bytes);
+    stats =
+      [
+        ("keys", keys);
+        ("written", !written);
+        ("convergence_ms", convergence_ms);
+        ("sync_msgs", sync_msgs);
+        ("sync_bytes", sync_bytes);
+        ("malformed", metric Replica.metric_malformed);
+        ("events", Engine.events_executed (Runtime.engine world));
+      ];
+  }
+
+let replica =
+  {
+    Scenario.name = "replica";
+    descr = "100-replica anti-entropy gossip; convergence and sync byte budget";
+    default_horizon = Clock.s 8;
+    default_workload = 150;
+    run = run_replica ~replicas:100;
+  }
+
+let replica_1k =
+  {
+    Scenario.name = "replica_1k";
+    descr = "1000-replica anti-entropy gossip (scale probe; not in the default sweep)";
+    default_horizon = Clock.s 6;
+    default_workload = 200;
+    run = run_replica ~replicas:1000;
+  }
+
+let all = [ bank; airline; itinerary; replica ]
+let every = all @ [ bank_mutated; replica_1k ]
 let find name = List.find_opt (fun s -> String.equal s.Scenario.name name) every
 let names = List.map (fun s -> s.Scenario.name) every

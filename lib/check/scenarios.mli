@@ -10,6 +10,11 @@
       ledger invariants.
     - [itinerary]: two-leg 2PC bookings; all-or-nothing atomicity, honest
       acks, no dangling holds.
+    - [replica]: 100 anti-entropy gossip replicas under write load and
+      churn; all live key → stamp tables identical at quiescence, every
+      sync message under the byte budget, convergence time measured.
+    - [replica_1k]: the same protocol at 1000 replicas — a scale probe
+      runnable by name but kept out of the default sweep.
     - [bank_mutated]: [bank] with a reference model that deliberately
       ignores the first transfer — the harness self-test.  It MUST fail on
       most seeds; a sweep that reports it green means the checker itself
@@ -18,13 +23,20 @@
 val bank : Scenario.t
 val airline : Scenario.t
 val itinerary : Scenario.t
+val replica : Scenario.t
+val replica_1k : Scenario.t
 val bank_mutated : Scenario.t
 
 val all : Scenario.t list
-(** The honest scenarios (excludes [bank_mutated]). *)
+(** The honest default-sweep scenarios (excludes [bank_mutated] and
+    [replica_1k]). *)
+
+val every : Scenario.t list
+(** [all] plus the off-by-default scenarios ([bank_mutated],
+    [replica_1k]) — what [list] shows and [find] searches. *)
 
 val find : string -> Scenario.t option
-(** By name, including [bank_mutated]. *)
+(** By name, including [bank_mutated] and [replica_1k]. *)
 
 val names : string list
-(** Every scenario name, including [bank_mutated]. *)
+(** Every scenario name, including [bank_mutated] and [replica_1k]. *)

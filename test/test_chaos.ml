@@ -49,6 +49,16 @@ let test_bank_lossy () =
 let test_itinerary_lossy () =
   check_point Scenarios.itinerary ~seed:26 ~profile:"lossy+crash" ~stat:"outcomes" ~at_least:0
 
+(* Replica anti-entropy: the convergence + byte-budget oracles at two fixed
+   points on the loss matrix, including the harshest profile (wan latency,
+   5% loss, crash churn).  The "keys" floor rejects vacuous convergence on
+   empty tables. *)
+let test_replica_wan_lossy_crash () =
+  check_point Scenarios.replica ~seed:11 ~profile:"wan+lossy+crash" ~stat:"keys" ~at_least:100
+
+let test_replica_lossy () =
+  check_point Scenarios.replica ~seed:23 ~profile:"lossy+crash" ~stat:"keys" ~at_least:100
+
 let tests =
   [
     Alcotest.test_case "airline invariants under churn" `Slow test_airline_chaos;
@@ -56,4 +66,7 @@ let tests =
     Alcotest.test_case "itinerary atomicity under churn" `Slow test_itinerary_chaos;
     Alcotest.test_case "bank under lossy links" `Slow test_bank_lossy;
     Alcotest.test_case "itinerary under lossy links (regression seed)" `Slow test_itinerary_lossy;
+    Alcotest.test_case "replica convergence under wan+lossy+crash" `Slow
+      test_replica_wan_lossy_crash;
+    Alcotest.test_case "replica convergence under lossy+crash" `Slow test_replica_lossy;
   ]

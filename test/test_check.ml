@@ -84,6 +84,23 @@ let test_outcome_fingerprint_deterministic () =
     true
     (Check.Scenario.fail_reason a = Check.Scenario.fail_reason b)
 
+let test_replica_fingerprint_deterministic () =
+  (* The 100-replica scenario at a reduced horizon/workload: identical
+     params must yield bit-identical fingerprints (the sweep determinism
+     surface for the new scenario). *)
+  let run () =
+    Check.Scenario.execute Check.Scenarios.replica ~seed:9 ~profile:(profile "wan+lossy+crash")
+      ~horizon:(Clock.s 2) ~workload:40 ()
+  in
+  let a = run () and b = run () in
+  Alcotest.(check string) "fingerprints agree" a.Check.Scenario.fingerprint
+    b.Check.Scenario.fingerprint;
+  (match Check.Scenario.fail_reason a with
+  | None -> ()
+  | Some reason -> Alcotest.failf "replica scenario failed: %s" reason);
+  Alcotest.(check bool) "convergence was measured" true
+    (Check.Scenario.stat a "convergence_ms" >= 0)
+
 let tests =
   [
     Alcotest.test_case "mutated model is detected" `Quick test_mutation_detected;
@@ -92,4 +109,6 @@ let tests =
     Alcotest.test_case "failing sweep is deterministic" `Slow test_sweep_deterministic_failures;
     Alcotest.test_case "outcome fingerprint is deterministic" `Quick
       test_outcome_fingerprint_deterministic;
+    Alcotest.test_case "replica fingerprint is deterministic" `Slow
+      test_replica_fingerprint_deterministic;
   ]

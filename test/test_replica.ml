@@ -3,11 +3,16 @@
 
 open Dcp_wire
 module Runtime = Dcp_core.Runtime
+module Port = Dcp_core.Port
 module Replica = Dcp_primitives.Replica
+module Reconcile = Dcp_primitives.Reconcile
+module Rpc = Dcp_primitives.Rpc
 module Clock = Dcp_sim.Clock
+module Metrics = Dcp_sim.Metrics
 module Topology = Dcp_net.Topology
 module Network = Dcp_net.Network
 module Link = Dcp_net.Link
+module Store = Dcp_stable.Store
 
 let make_world ?(n = 3) ?(link = Link.lan) () =
   Runtime.create_world ~seed:73 ~topology:(Topology.full_mesh ~n link) ()
@@ -137,6 +142,311 @@ let test_lossy_network_still_converges () =
     | _ -> Alcotest.failf "key k%d missing somewhere" i
   done
 
+(* ---- reconcile: the pure protocol half ---- *)
+
+let test_reconcile_diff () =
+  let claimed = [ ("a", (2, 0)); ("b", (1, 0)); ("d", (1, 1)) ] in
+  let held = [ ("b", (2, 1)); ("c", (1, 0)) ] in
+  let d = Reconcile.diff ~claimed ~held in
+  Alcotest.(check (list string)) "pulls sender-newer and missing" [ "a"; "d" ] d.Reconcile.pulls;
+  Alcotest.(check (list string)) "pushes receiver-newer and missing" [ "b"; "c" ] d.Reconcile.pushes;
+  Alcotest.(check (option (pair int int))) "max claimed" (Some (2, 0)) d.Reconcile.max_claimed;
+  let equal = Reconcile.diff ~claimed:held ~held in
+  Alcotest.(check (list string)) "equal tables pull nothing" [] equal.Reconcile.pulls;
+  Alcotest.(check (list string)) "equal tables push nothing" [] equal.Reconcile.pushes
+
+let test_reconcile_budget () =
+  let size _ = 10 in
+  let budget = Reconcile.header_allowance + 25 in
+  let taken, rest = Reconcile.take_within ~budget ~size [ 1; 2; 3; 4; 5 ] in
+  Alcotest.(check (list int)) "greedy prefix" [ 1; 2 ] taken;
+  Alcotest.(check (list int)) "remainder" [ 3; 4; 5 ] rest;
+  Alcotest.(check (list (list int)))
+    "chunks cover everything"
+    [ [ 1; 2 ]; [ 3; 4 ]; [ 5 ] ]
+    (Reconcile.chunks ~budget ~size [ 1; 2; 3; 4; 5 ]);
+  (* an entry bigger than the whole budget still makes progress *)
+  let huge _ = 10_000 in
+  let taken, rest = Reconcile.take_within ~budget ~size:huge [ 1; 2 ] in
+  Alcotest.(check (list int)) "oversized entry taken alone" [ 1 ] taken;
+  Alcotest.(check (list int)) "rest waits" [ 2 ] rest
+
+let test_reconcile_stamps_and_windows () =
+  let stamp v = Reconcile.stamp_of_value v in
+  Alcotest.(check (option (pair int int)))
+    "well-formed" (Some (3, 0))
+    (stamp (Value.tuple [ Value.int 3; Value.int 0 ]));
+  Alcotest.(check (option (pair int int)))
+    "zero counter rejected" None
+    (stamp (Value.tuple [ Value.int 0; Value.int 0 ]));
+  Alcotest.(check (option (pair int int)))
+    "negative stamp rejected" None
+    (stamp (Value.tuple [ Value.int (-3); Value.int (-9) ]));
+  Alcotest.(check (option (pair int int))) "non-tuple rejected" None (stamp (Value.str "x"));
+  Alcotest.(check (option (pair int int)))
+    "store mirror round-trip" (Some (42, 7))
+    (Reconcile.stamp_of_string (Reconcile.stamp_to_string (42, 7)));
+  Alcotest.(check (option (pair int int))) "garbage text" None (Reconcile.stamp_of_string "boom");
+  Alcotest.(check bool) "inverted window rejected" false
+    (Reconcile.window_ok { Reconcile.lo = "z"; hi = Some "a" });
+  let w = { Reconcile.lo = "b"; hi = Some "d" } in
+  Alcotest.(check bool) "window ok" true (Reconcile.window_ok w);
+  Alcotest.(check (list bool)) "in_window is [lo, hi)"
+    [ false; true; true; false; false ]
+    (List.map (Reconcile.in_window w) [ "a"; "b"; "c"; "d"; "e" ])
+
+(* ---- protocol-level regressions ---- *)
+
+let metric world name = Metrics.count (Metrics.counter (Runtime.metrics world) name)
+
+let replica_store world i =
+  List.nth (Runtime.find_guardians world ~def_name:Replica.def_name) i
+  |> Runtime.guardian_store
+
+(* The pull half of the exchange (the divergence bug): a digest claiming a
+   key the receiver lacks must come back as sync_pull, alongside sync_delta
+   for what the receiver holds that the digest lacks — one digest round
+   reconciles both directions.  Driven wire-level so the assertion is about
+   the messages, not just the eventual state. *)
+let test_sync_digest_answers_with_pull () =
+  let world = make_world () in
+  let replicas = Replica.create_group world ~nodes:[ 0 ] ~sync_every:(Clock.s 1000) () in
+  let replica = List.hd replicas in
+  let got = ref [] in
+  let observed_stamp = ref (0, 0) in
+  driver world ~at:0 (fun ctx ->
+      Runtime.sleep ctx (Clock.ms 50);
+      (* seed the replica with "b" *)
+      ignore (Replica.write ctx ~replica ~key:"b" ~value:(Value.str "bv") ~timeout:(Clock.s 1));
+      let port = Runtime.new_port ctx Replica.port_type in
+      let me = Port.name port in
+      (* claim "a" at stamp (5,7), which this replica lacks *)
+      Runtime.send ctx ~to_:replica ~reply_to:me "sync_digest"
+        [
+          Value.str "";
+          Value.option None;
+          Value.list [ Value.tuple [ Value.str "a"; Value.tuple [ Value.int 5; Value.int 7 ] ] ];
+        ];
+      let rec collect n =
+        if n > 0 then
+          match Runtime.receive ctx ~timeout:(Clock.s 2) [ port ] with
+          | `Timeout -> ()
+          | `Msg (_, msg) ->
+              got := (msg.Dcp_core.Message.command, msg.Dcp_core.Message.args) :: !got;
+              collect (n - 1)
+      in
+      collect 2;
+      (* answer the pull like a real sender would *)
+      Runtime.send ctx ~to_:replica "sync_delta"
+        [
+          Value.list
+            [ Value.tuple [ Value.str "a"; Value.str "av"; Value.tuple [ Value.int 5; Value.int 7 ] ] ];
+        ];
+      Runtime.sleep ctx (Clock.ms 50);
+      (* satellite 3: the digest's claimed max stamp was observed, so the
+         next local write must outrank counter 5 *)
+      (match Rpc.call ctx ~to_:replica ~timeout:(Clock.s 1) "write" [ Value.str "c"; Value.int 1 ] with
+      | Rpc.Reply ("written", [ Value.Tuple [ Value.Int c; Value.Int o ] ]) -> observed_stamp := (c, o)
+      | _ -> ()));
+  Runtime.run_for world (Clock.s 10);
+  let commands = List.sort compare (List.map fst !got) in
+  Alcotest.(check (list string)) "delta and pull sent back" [ "sync_delta"; "sync_pull" ] commands;
+  List.iter
+    (fun (command, args) ->
+      match (command, args) with
+      | "sync_pull", [ Value.Listv [ Value.Str k ] ] ->
+          Alcotest.(check string) "pulls the missing key" "a" k
+      | "sync_delta", [ Value.Listv [ Value.Tuple [ Value.Str k; _; _ ] ] ] ->
+          Alcotest.(check string) "pushes the held key" "b" k
+      | _ -> Alcotest.failf "unexpected reply %s" command)
+    !got;
+  Alcotest.(check bool)
+    (Printf.sprintf "write stamped past the claimed counter (got %d)" (fst !observed_stamp))
+    true
+    (fst !observed_stamp > 5);
+  (* the pulled delta landed *)
+  let table = Replica.table_in_store (replica_store world 0) in
+  Alcotest.(check bool) "pulled entry applied" true (List.mem_assoc "a" table)
+
+(* Each side misses exactly one gossip (severed link during the writes);
+   anti-entropy must reconcile both directions. *)
+let test_drop_one_gossip_each_way_converges () =
+  let world = make_world () in
+  let replicas = Replica.create_group world ~nodes:[ 0; 1 ] ~sync_every:(Clock.ms 200) () in
+  let network = Runtime.network world in
+  Runtime.run_for world (Clock.ms 100);
+  Network.partition network [ [ 0 ]; [ 1 ]; [ 2 ] ];
+  driver world ~at:0 (fun ctx ->
+      ignore
+        (Replica.write ctx ~replica:(List.nth replicas 0) ~key:"east" ~value:(Value.int 1)
+           ~timeout:(Clock.s 1)));
+  driver world ~at:1 (fun ctx ->
+      ignore
+        (Replica.write ctx ~replica:(List.nth replicas 1) ~key:"west" ~value:(Value.int 2)
+           ~timeout:(Clock.s 1)));
+  Runtime.run_for world (Clock.s 2);
+  Network.heal network;
+  Runtime.run_for world (Clock.s 5);
+  let t0 = Replica.table_in_store (replica_store world 0) in
+  let t1 = Replica.table_in_store (replica_store world 1) in
+  Alcotest.(check int) "both keys everywhere" 2 (List.length t0);
+  Alcotest.(check bool) "identical tables" true (t0 = t1)
+
+(* Satellite 2: semantically malformed replica-to-replica messages are
+   dropped and counted, never fatal. *)
+let test_malformed_gossip_is_dropped_not_fatal () =
+  let world = make_world () in
+  let replicas = Replica.create_group world ~nodes:[ 0 ] ~sync_every:(Clock.s 1000) () in
+  let replica = List.hd replicas in
+  let survived = ref false in
+  driver world ~at:0 (fun ctx ->
+      Runtime.sleep ctx (Clock.ms 50);
+      let port = Runtime.new_port ctx Replica.port_type in
+      let me = Port.name port in
+      (* type-correct but semantically garbage stamp *)
+      Runtime.send ctx ~to_:replica "gossip"
+        [ Value.str "k"; Value.int 1; Value.tuple [ Value.int (-3); Value.int (-9) ] ];
+      (* inverted digest window *)
+      Runtime.send ctx ~to_:replica ~reply_to:me "sync_digest"
+        [ Value.str "z"; Value.option (Some (Value.str "a")); Value.list [] ];
+      (* digest entry with a zero counter *)
+      Runtime.send ctx ~to_:replica ~reply_to:me "sync_digest"
+        [
+          Value.str "";
+          Value.option None;
+          Value.list [ Value.tuple [ Value.str "k"; Value.tuple [ Value.int 0; Value.int 0 ] ] ];
+        ];
+      (* delta smuggling a bad stamp *)
+      Runtime.send ctx ~to_:replica "sync_delta"
+        [
+          Value.list
+            [ Value.tuple [ Value.str "k"; Value.int 9; Value.tuple [ Value.int 0; Value.int 5 ] ] ];
+        ];
+      Runtime.sleep ctx (Clock.ms 100);
+      survived :=
+        Replica.write ctx ~replica ~key:"alive" ~value:(Value.int 1) ~timeout:(Clock.s 1));
+  Runtime.run_for world (Clock.s 5);
+  Alcotest.(check bool) "guardian still serves writes" true !survived;
+  Alcotest.(check int) "every malformed message counted" 4 (metric world Replica.metric_malformed);
+  Alcotest.(check bool)
+    "no garbage entered the table" false
+    (List.mem_assoc "k" (Replica.table_in_store (replica_store world 0)))
+
+(* Satellite 3 at full scale: a crashed replica rejoins empty, refills its
+   soft state by anti-entropy, and its first write after the refill must
+   outrank the pre-crash stamps it never saw. *)
+let test_crash_rejoin_refills_and_wins () =
+  let world = make_world () in
+  let replicas = Replica.create_group world ~nodes:[ 0; 1; 2 ] ~sync_every:(Clock.ms 100) () in
+  driver world ~at:0 (fun ctx ->
+      Runtime.sleep ctx (Clock.ms 50);
+      for i = 1 to 5 do
+        ignore
+          (Replica.write ctx ~replica:(List.hd replicas) ~key:(Printf.sprintf "k%d" i)
+             ~value:(Value.int i) ~timeout:(Clock.s 1))
+      done);
+  Runtime.run_for world (Clock.s 3);
+  Runtime.crash_node world 2;
+  Runtime.run_for world (Clock.ms 500);
+  Runtime.restart_node world 2;
+  Runtime.run_for world (Clock.s 3);
+  (* refill: the rejoined replica's mirrored table matches a survivor's *)
+  let t0 = Replica.table_in_store (replica_store world 0) in
+  let t2 = Replica.table_in_store (replica_store world 2) in
+  Alcotest.(check int) "all five keys refilled" 5 (List.length t2);
+  Alcotest.(check bool) "refilled table identical" true (t0 = t2);
+  (* rejoined membership survived the crash *)
+  Alcotest.(check int) "peers persisted" 2 (List.length (Replica.peers_in_store (replica_store world 2)));
+  (* the write after rejoin wins everywhere *)
+  let winner_stamp = ref (0, 0) in
+  driver world ~at:2 (fun ctx ->
+      match
+        Rpc.call ctx ~to_:(List.nth replicas 2) ~timeout:(Clock.s 1) "write"
+          [ Value.str "k5"; Value.str "winner" ]
+      with
+      | Rpc.Reply ("written", [ Value.Tuple [ Value.Int c; Value.Int o ] ]) ->
+          winner_stamp := (c, o)
+      | _ -> ());
+  Runtime.run_for world (Clock.s 3);
+  Alcotest.(check bool)
+    (Printf.sprintf "rejoined write outranks pre-crash stamps (counter %d)" (fst !winner_stamp))
+    true
+    (fst !winner_stamp > 5);
+  Alcotest.(check (list (option string)))
+    "new value wins everywhere"
+    [ Some "\"winner\""; Some "\"winner\""; Some "\"winner\"" ]
+    (read_all world replicas ~key:"k5")
+
+(* Satellite 4: join is idempotent, dedups, and never admits the replica's
+   own port. *)
+let test_join_idempotent_self_excluding () =
+  let world = make_world () in
+  let replicas = Replica.create_group world ~nodes:[ 0; 1; 2 ] () in
+  Runtime.run_for world (Clock.ms 200);
+  let r0 = List.nth replicas 0
+  and r1 = List.nth replicas 1
+  and r2 = List.nth replicas 2 in
+  let expected = List.sort Port_name.compare [ r1; r2 ] in
+  driver world ~at:0 (fun ctx ->
+      (* a retried join carrying duplicates and the replica's own port *)
+      let dirty = Value.list (List.map Value.port [ r0; r1; r1; r0; r2 ]) in
+      for _ = 1 to 3 do
+        ignore (Rpc.call ctx ~to_:r0 ~timeout:(Clock.s 1) "join" [ dirty ])
+      done);
+  Runtime.run_for world (Clock.s 3);
+  let peers = Replica.peers_in_store (replica_store world 0) in
+  Alcotest.(check int) "two peers, no dups, no self" 2 (List.length peers);
+  Alcotest.(check bool) "exactly the other replicas" true
+    (List.equal Port_name.equal expected (List.sort Port_name.compare peers));
+  Alcotest.(check bool) "own port excluded" false (List.exists (Port_name.equal r0) peers)
+
+(* A table bigger than one sync message: the budget forces multi-window
+   digests and chunked deltas, and the cursor carries reconciliation across
+   rounds until the full table converges. *)
+let test_byte_budget_continuation () =
+  let budget = 256 in
+  let world = make_world () in
+  let replicas =
+    Replica.create_group world ~nodes:[ 0; 1; 2 ] ~sync_every:(Clock.ms 50) ~byte_budget:budget ()
+  in
+  let network = Runtime.network world in
+  Runtime.run_for world (Clock.ms 100);
+  (* writes reach only replica 0: refilling 1 and 2 is pure anti-entropy *)
+  Network.partition network [ [ 0 ]; [ 1 ]; [ 2 ] ];
+  driver world ~at:0 (fun ctx ->
+      for i = 0 to 29 do
+        ignore
+          (Replica.write ctx ~replica:(List.hd replicas) ~key:(Printf.sprintf "key%02d" i)
+             ~value:(Value.str (Printf.sprintf "value-%02d" i)) ~timeout:(Clock.s 1))
+      done);
+  Runtime.run_for world (Clock.s 2);
+  Network.heal network;
+  Runtime.run_for world (Clock.s 20);
+  let tables = List.init 3 (fun i -> Replica.table_in_store (replica_store world i)) in
+  (match tables with
+  | [ t0; t1; t2 ] ->
+      Alcotest.(check int) "all 30 keys on replica 0" 30 (List.length t0);
+      Alcotest.(check bool) "replica 1 converged" true (t0 = t1);
+      Alcotest.(check bool) "replica 2 converged" true (t0 = t2)
+  | _ -> Alcotest.fail "missing tables");
+  (* the whole table cannot fit one message, yet no message broke the budget *)
+  let max_bytes =
+    int_of_float (Metrics.gauge_value (Metrics.gauge (Runtime.metrics world) Replica.metric_max_bytes))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "largest sync message %d within budget %d" max_bytes budget)
+    true
+    (max_bytes > 0 && max_bytes <= budget);
+  Alcotest.(check int) "no over-budget messages" 0 (metric world Replica.metric_over_budget);
+  let table_bytes =
+    List.fold_left
+      (fun acc (key, stamp) ->
+        acc + Reconcile.value_size (Reconcile.entry_value (key, stamp)))
+      0
+      (Replica.table_in_store (replica_store world 0))
+  in
+  Alcotest.(check bool) "table really spans multiple windows" true (table_bytes > budget)
+
 let tests =
   [
     Alcotest.test_case "write propagates" `Quick test_write_propagates;
@@ -145,4 +455,17 @@ let tests =
       test_concurrent_writes_converge_to_one_winner;
     Alcotest.test_case "partition then converge" `Quick test_partition_then_converge;
     Alcotest.test_case "lossy network converges" `Slow test_lossy_network_still_converges;
+    Alcotest.test_case "reconcile diff pulls and pushes" `Quick test_reconcile_diff;
+    Alcotest.test_case "reconcile byte budgeting" `Quick test_reconcile_budget;
+    Alcotest.test_case "reconcile stamps and windows" `Quick test_reconcile_stamps_and_windows;
+    Alcotest.test_case "sync_digest answers with pull" `Quick test_sync_digest_answers_with_pull;
+    Alcotest.test_case "drop one gossip each way, still converges" `Quick
+      test_drop_one_gossip_each_way_converges;
+    Alcotest.test_case "malformed gossip dropped, not fatal" `Quick
+      test_malformed_gossip_is_dropped_not_fatal;
+    Alcotest.test_case "crash-rejoin refills soft state and wins" `Quick
+      test_crash_rejoin_refills_and_wins;
+    Alcotest.test_case "join is idempotent and self-excluding" `Quick
+      test_join_idempotent_self_excluding;
+    Alcotest.test_case "byte-budget continuation" `Quick test_byte_budget_continuation;
   ]
