@@ -347,6 +347,160 @@ let replica_rows () =
     ("replica.sync bytes to converge (bytes)", Some (float_of_int sync_bytes));
   ]
 
+(* ---- deterministic message-cost rows ----
+
+   The paper's primitive-cost comparison, §3: what one client-visible
+   operation costs in messages on the wire.  A synchronized send is two
+   messages (payload + ack); a remote procedure call is two (request +
+   reply); an SCD-register write on an n-member group is the broadcast to
+   the other members, the client exchange, and its share of the status
+   gossip that drives the delivery frontier.  Perfect links and pinned
+   seeds make every count an exact function of the code, so the bench gate
+   pins these rows at threshold 1. *)
+let sendcost_rows () =
+  let module Rpc = Dcp_primitives.Rpc in
+  let module Sync_send = Dcp_primitives.Sync_send in
+  let module Register = Dcp_primitives.Register in
+  let module Network = Dcp_net.Network in
+  let module Message = Dcp_core.Message in
+  let ops = 20 in
+  let measure ctx body =
+    let net = Runtime.network (Runtime.ctx_world ctx) in
+    let before = (Network.stats net).Network.messages_sent in
+    body ();
+    let after = (Network.stats net).Network.messages_sent in
+    float_of_int (after - before) /. float_of_int ops
+  in
+  let driver world ~at ~name body =
+    let def =
+      { Runtime.def_name = name; provides = []; init = (fun ctx _ -> body ctx); recover = None }
+    in
+    Runtime.register_def world def;
+    ignore (Runtime.create_guardian world ~at ~def_name:name ~args:[])
+  in
+  (* sync_send: a cooperating receiver acknowledges each message. *)
+  let sync_cost =
+    let world =
+      Runtime.create_world ~seed:17 ~topology:(Topology.full_mesh ~n:2 Dcp_net.Link.perfect) ()
+    in
+    let receiver =
+      {
+        Runtime.def_name = "bench_sync_target";
+        provides = [ ([ Vtype.wildcard ], 16) ];
+        init =
+          (fun ctx _ ->
+            let port = Runtime.port ctx 0 in
+            let rec loop () =
+              (match Runtime.receive ctx [ port ] with
+              | `Timeout -> ()
+              | `Msg (_, msg) -> Sync_send.acknowledge ctx msg);
+              loop ()
+            in
+            loop ());
+        recover = None;
+      }
+    in
+    Runtime.register_def world receiver;
+    let target =
+      List.hd
+        (Runtime.guardian_ports
+           (Runtime.create_guardian world ~at:0 ~def_name:"bench_sync_target" ~args:[]))
+    in
+    let cost = ref 0.0 in
+    driver world ~at:1 ~name:"bench_sync_driver" (fun ctx ->
+        Runtime.sleep ctx (Clock.ms 50);
+        cost :=
+          measure ctx (fun () ->
+              for i = 1 to ops do
+                ignore (Sync_send.send ctx ~to_:target "note" [ Value.int i ])
+              done));
+    Runtime.run_for world (Clock.s 5);
+    !cost
+  in
+  (* rpc: request out, reply back. *)
+  let rpc_cost =
+    let world =
+      Runtime.create_world ~seed:19 ~topology:(Topology.full_mesh ~n:2 Dcp_net.Link.perfect) ()
+    in
+    let server =
+      {
+        Runtime.def_name = "bench_rpc_server";
+        provides = [ ([ Vtype.wildcard ], 16) ];
+        init =
+          (fun ctx _ ->
+            let port = Runtime.port ctx 0 in
+            let rec loop () =
+              (match Runtime.receive ctx [ port ] with
+              | `Timeout -> ()
+              | `Msg (_, msg) -> (
+                  match (msg.Message.command, msg.Message.args, msg.Message.reply_to) with
+                  | "ping", [ Value.Int rid ], Some reply ->
+                      Runtime.send ctx ~to_:reply "pong" [ Value.int rid ]
+                  | _ -> ()));
+              loop ()
+            in
+            loop ());
+        recover = None;
+      }
+    in
+    Runtime.register_def world server;
+    let target =
+      List.hd
+        (Runtime.guardian_ports
+           (Runtime.create_guardian world ~at:0 ~def_name:"bench_rpc_server" ~args:[]))
+    in
+    let cost = ref 0.0 in
+    driver world ~at:1 ~name:"bench_rpc_driver" (fun ctx ->
+        Runtime.sleep ctx (Clock.ms 50);
+        cost :=
+          measure ctx (fun () ->
+              for i = 1 to ops do
+                ignore
+                  (Rpc.call ctx ~to_:target ~timeout:(Clock.s 1) ~attempts:1
+                     ~request_id:(4_300_000_000 + i) "ping" [])
+              done));
+    Runtime.run_for world (Clock.s 5);
+    !cost
+  in
+  (* scd register write on a 5-member group: broadcast + client exchange +
+     the status gossip share over the acked-write window. *)
+  let scd_cost =
+    let members = 5 in
+    let world =
+      Runtime.create_world ~seed:23
+        ~topology:(Topology.full_mesh ~n:(members + 1) Dcp_net.Link.perfect)
+        ()
+    in
+    let regs =
+      Array.of_list
+        (Register.create_group world ~nodes:(List.init members Fun.id) ~introduce_at:members ())
+    in
+    let cost = ref 0.0 in
+    driver world ~at:members ~name:"bench_scd_driver" (fun ctx ->
+        (* Past the bootstrap: the measured window holds only writes and
+           steady-state gossip. *)
+        Runtime.sleep ctx (Clock.s 2);
+        cost :=
+          measure ctx (fun () ->
+              for i = 1 to ops do
+                ignore
+                  (Register.write ctx
+                     ~register:regs.(i mod members)
+                     ~key:(Printf.sprintf "k%d" (i mod 4))
+                     ~value:(Value.int i) ~timeout:(Clock.s 2))
+              done));
+    Runtime.run_for world (Clock.s 30);
+    !cost
+  in
+  Printf.printf "  %-40s %12.1f msgs/op\n%!" "sendcost.sync_send (pair)" sync_cost;
+  Printf.printf "  %-40s %12.1f msgs/op\n%!" "sendcost.rpc (pair)" rpc_cost;
+  Printf.printf "  %-40s %12.1f msgs/op\n%!" "sendcost.scd register write (5 members)" scd_cost;
+  [
+    ("sendcost.sync_send (pair) (msgs/op)", Some sync_cost);
+    ("sendcost.rpc (pair) (msgs/op)", Some rpc_cost);
+    ("sendcost.scd register write (5 members) (msgs/op)", Some scd_cost);
+  ]
+
 let json_path = "BENCH_micro.json"
 
 (* Row names are controlled strings (no quotes/backslashes), but escape
@@ -400,15 +554,21 @@ let run () =
   in
   List.iter benchmark all_tests;
   print_endline "== Replica macro rows (deterministic, virtual units) ==";
-  write_json (List.rev !rows @ replica_rows ());
+  let macro = replica_rows () in
+  print_endline "== Message-cost rows (deterministic, msgs/op) ==";
+  let sendcost = sendcost_rows () in
+  write_json (List.rev !rows @ macro @ sendcost);
   Printf.printf "  wrote %s\n%!" json_path
 
-(* The replica macro rows alone, written to their own file: being exact,
+(* The deterministic rows alone, written to their own file: being exact,
    they can be diffed against the committed baseline at a tight threshold
    inside `dune runtest` (see bench/dune), where the timing rows cannot. *)
 let run_replica_gate () =
   print_newline ();
   print_endline "== Replica macro rows (deterministic, virtual units) ==";
+  let macro = replica_rows () in
+  print_endline "== Message-cost rows (deterministic, msgs/op) ==";
+  let sendcost = sendcost_rows () in
   let path = "BENCH_replica.json" in
-  write_json ~path (replica_rows ());
+  write_json ~path (macro @ sendcost);
   Printf.printf "  wrote %s\n%!" path

@@ -1,0 +1,282 @@
+module Store = Dcp_stable.Store
+module Runtime = Dcp_core.Runtime
+
+type op = Write of string * int | Read of string | Snapshot
+
+type reply =
+  | Acked
+  | Value_is of int option
+  | State_is of (string * int) list
+
+type event = {
+  client : int;
+  op : op;
+  reply : reply option;
+  inv : int;
+  resp : int;
+}
+
+(* ---- encoding (store capture) ---- *)
+
+let history_prefix = "h:"
+
+let encode_event e =
+  match e.op with
+  | Write (key, v) ->
+      let tail = match e.reply with None -> "p" | Some Acked -> "ok" | Some _ -> "x" in
+      Printf.sprintf "w %d %d %d %s %d %s" e.client e.inv e.resp key v tail
+  | Read key ->
+      let tail =
+        match e.reply with
+        | None -> "p"
+        | Some (Value_is None) -> "none"
+        | Some (Value_is (Some v)) -> string_of_int v
+        | Some _ -> "x"
+      in
+      Printf.sprintf "r %d %d %d %s %s" e.client e.inv e.resp key tail
+  | Snapshot ->
+      let tail =
+        match e.reply with
+        | None -> "p"
+        | Some (State_is []) -> "-"
+        | Some (State_is entries) ->
+            String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) entries)
+        | Some _ -> "x"
+      in
+      Printf.sprintf "s %d %d %d %s" e.client e.inv e.resp tail
+
+let ( let* ) = Option.bind
+
+let decode_state tail =
+  if String.equal tail "-" then Some []
+  else
+    List.fold_left
+      (fun acc part ->
+        let* parsed = acc in
+        match String.index_opt part '=' with
+        | None -> None
+        | Some i ->
+            let key = String.sub part 0 i in
+            let* v = int_of_string_opt (String.sub part (i + 1) (String.length part - i - 1)) in
+            if String.equal key "" then None else Some ((key, v) :: parsed))
+      (Some [])
+      (String.split_on_char ',' tail)
+    |> Option.map (List.sort (fun (k1, _) (k2, _) -> String.compare k1 k2))
+
+let decode_event data =
+  let ints client inv resp =
+    let* client = int_of_string_opt client in
+    let* inv = int_of_string_opt inv in
+    let* resp = int_of_string_opt resp in
+    Some (client, inv, resp)
+  in
+  match String.split_on_char ' ' data with
+  | [ "w"; client; inv; resp; key; v; tail ] ->
+      let* client, inv, resp = ints client inv resp in
+      let* v = int_of_string_opt v in
+      let* reply =
+        match tail with "p" -> Some None | "ok" -> Some (Some Acked) | _ -> None
+      in
+      Some { client; op = Write (key, v); reply; inv; resp }
+  | [ "r"; client; inv; resp; key; tail ] ->
+      let* client, inv, resp = ints client inv resp in
+      let* reply =
+        match tail with
+        | "p" -> Some None
+        | "none" -> Some (Some (Value_is None))
+        | v -> Option.map (fun v -> Some (Value_is (Some v))) (int_of_string_opt v)
+      in
+      Some { client; op = Read key; reply; inv; resp }
+  | [ "s"; client; inv; resp; tail ] ->
+      let* client, inv, resp = ints client inv resp in
+      let* reply =
+        match tail with
+        | "p" -> Some None
+        | tail -> Option.map (fun st -> Some (State_is st)) (decode_state tail)
+      in
+      Some { client; op = Snapshot; reply; inv; resp }
+  | _ -> None
+
+let record ctx ~seq event =
+  Store.set (Runtime.store ctx)
+    ~key:(Printf.sprintf "%s%06d" history_prefix seq)
+    (encode_event event)
+
+let events_in_store store =
+  List.filter_map
+    (fun (key, data) ->
+      if String.length key >= 2 && String.equal (String.sub key 0 2) history_prefix then
+        decode_event data
+      else None)
+    (Store.to_alist store)
+
+(* ---- the checker ---- *)
+
+exception Budget
+
+(* Sequential state of a map of integer registers, kept as a key-sorted
+   assoc list so equal states have equal canonical strings (the memo key). *)
+let state_apply state key v =
+  let rec insert = function
+    | [] -> [ (key, v) ]
+    | (k, _) :: rest when String.equal k key -> (key, v) :: rest
+    | ((k, _) as entry) :: rest ->
+        if String.compare key k < 0 then (key, v) :: (k, snd entry) :: rest
+        else entry :: insert rest
+  in
+  insert state
+
+let state_get state key = List.assoc_opt key state
+
+let state_equal a b =
+  List.equal (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && Int.equal v1 v2) a b
+
+let state_to_string state =
+  String.concat ";" (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) state)
+
+let describe e =
+  let outcome =
+    match e.reply with
+    | None -> "no response"
+    | Some Acked -> "ok"
+    | Some (Value_is None) -> "unknown_key"
+    | Some (Value_is (Some v)) -> string_of_int v
+    | Some (State_is state) -> "{" ^ state_to_string state ^ "}"
+  in
+  let operation =
+    match e.op with
+    | Write (k, v) -> Printf.sprintf "write(%s,%d)" k v
+    | Read k -> Printf.sprintf "read(%s)" k
+    | Snapshot -> "snapshot()"
+  in
+  let resp = if e.resp = max_int then "-" else string_of_int e.resp in
+  Printf.sprintf "%s=%s by client %d [inv %d, resp %s]" operation outcome e.client e.inv resp
+
+let event_order a b =
+  let c = Int.compare a.inv b.inv in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.resp b.resp in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.client b.client in
+      if c <> 0 then c else String.compare (encode_event a) (encode_event b)
+
+let bit_get bits i = Char.code (Bytes.get bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let bit_set bits i =
+  let copy = Bytes.copy bits in
+  Bytes.set copy (i lsr 3)
+    (Char.chr (Char.code (Bytes.get copy (i lsr 3)) lor (1 lsl (i land 7))));
+  copy
+
+(* One group (one key, or the whole history when snapshots couple the
+   keys): memoised first-fit DFS over (completed set, state). *)
+let check_group ~max_states ~states events =
+  let ops = Array.of_list (List.sort event_order events) in
+  let n = Array.length ops in
+  if n = 0 then Ok ()
+  else begin
+    let memo = Hashtbl.create 1024 in
+    let best_count = ref (-1) in
+    let best_desc = ref "" in
+    let note_best count e =
+      if count > !best_count then begin
+        best_count := count;
+        best_desc := describe e
+      end
+    in
+    let rec dfs bits count state =
+      if count = n then true
+      else begin
+        let memo_key = Bytes.to_string bits ^ "|" ^ state_to_string state in
+        if Hashtbl.mem memo memo_key then false
+        else begin
+          Hashtbl.add memo memo_key ();
+          incr states;
+          if !states > max_states then raise Budget;
+          (* An operation may be linearized next iff no not-yet-linearized
+             operation finished strictly before it was invoked. *)
+          let bound = ref max_int in
+          for i = 0 to n - 1 do
+            if (not (bit_get bits i)) && ops.(i).resp < !bound then bound := ops.(i).resp
+          done;
+          let found = ref false in
+          let i = ref 0 in
+          while (not !found) && !i < n do
+            (if (not (bit_get bits !i)) && ops.(!i).inv <= !bound then
+               let e = ops.(!i) in
+               let next = bit_set bits !i in
+               match (e.op, e.reply) with
+               | Write (k, v), Some _ -> found := dfs next (count + 1) (state_apply state k v)
+               | Write (k, v), None ->
+                   (* A timed-out write either took effect at some point
+                      after its invocation or never did. *)
+                   found :=
+                     dfs next (count + 1) (state_apply state k v) || dfs next (count + 1) state
+               | Read k, Some (Value_is expected) ->
+                   if Option.equal Int.equal (state_get state k) expected then
+                     found := dfs next (count + 1) state
+                   else note_best count e
+               | Read _, (Some _ | None) -> found := dfs next (count + 1) state
+               | Snapshot, Some (State_is expected) ->
+                   if state_equal state expected then found := dfs next (count + 1) state
+                   else note_best count e
+               | Snapshot, (Some _ | None) -> found := dfs next (count + 1) state);
+            incr i
+          done;
+          !found
+        end
+      end
+    in
+    if dfs (Bytes.make ((n + 7) / 8) '\000') 0 [] then Ok ()
+    else if !best_count >= 0 then
+      Error
+        (Printf.sprintf "no linearization of %d operations: %s cannot be justified (best %d/%d)"
+           n !best_desc !best_count n)
+    else Error (Printf.sprintf "no linearization of %d operations" n)
+  end
+
+let check ?(max_states = 200_000) events =
+  (* Pending reads and snapshots constrain nothing; drop them.  Pending
+     writes stay: their effect may or may not have landed. *)
+  let events =
+    List.filter
+      (fun e ->
+        match (e.reply, e.op) with
+        | Some _, _ -> true
+        | None, Write _ -> true
+        | None, (Read _ | Snapshot) -> false)
+      events
+  in
+  let has_snapshot = List.exists (fun e -> match e.op with Snapshot -> true | _ -> false) events in
+  let states = ref 0 in
+  let run () =
+    if has_snapshot then check_group ~max_states ~states events
+    else begin
+      (* Linearizability is compositional over disjoint registers: check
+         per key, in key order so the first failing key is deterministic. *)
+      let by_key = Hashtbl.create 8 in
+      List.iter
+        (fun e ->
+          let key = match e.op with Write (k, _) | Read k -> k | Snapshot -> "" in
+          let existing = Option.value (Hashtbl.find_opt by_key key) ~default:[] in
+          Hashtbl.replace by_key key (e :: existing))
+        events;
+      Hashtbl.fold (fun key group acc -> (key, group) :: acc) by_key []
+      |> List.sort (fun (k1, _) (k2, _) -> String.compare k1 k2)
+      |> List.fold_left
+           (fun acc (key, group) ->
+             match acc with
+             | Error _ -> acc
+             | Ok () -> (
+                 match check_group ~max_states ~states group with
+                 | Ok () -> Ok ()
+                 | Error reason -> Error (Printf.sprintf "key %s: %s" key reason)))
+           (Ok ())
+    end
+  in
+  match run () with
+  | outcome -> outcome
+  | exception Budget ->
+      Error (Printf.sprintf "search budget exceeded (%d states)" !states)

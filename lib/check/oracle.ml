@@ -6,6 +6,8 @@ module Transfer = Dcp_bank.Transfer
 module Flight = Dcp_airline.Flight
 module Replica = Dcp_primitives.Replica
 module Reconcile = Dcp_primitives.Reconcile
+module Register = Dcp_primitives.Register
+module Scd = Dcp_primitives.Scd
 
 type t = {
   name : string;
@@ -216,6 +218,61 @@ let replica_sync_budget ~budget =
         else if max_bytes > budget then
           Error (Printf.sprintf "largest sync message was %d bytes, budget %d" max_bytes budget)
         else Ok ());
+  }
+
+(* ---- register / snapshot ---- *)
+
+let linearizable ~clients ?(max_states = 200_000) () =
+  {
+    name = "linearizable";
+    check =
+      (fun world ->
+        let* stores = live_stores world ~def_name:clients in
+        let events = List.concat_map Linearize.events_in_store stores in
+        if events = [] then Error "no operation was recorded"
+        else Linearize.check ~max_states events);
+  }
+
+(* Same convergence predicate as the replica oracle, over the SCD objects'
+   durable LWW tables ([Register.Table.in_store] is key-sorted; ts
+   agreement implies value agreement because a value is only stored under
+   the ts that won it). *)
+let table_convergence ~def_name =
+  {
+    name = "table_convergence";
+    check =
+      (fun world ->
+        let* stores = live_stores world ~def_name in
+        match List.map Register.Table.in_store stores with
+        | [] | [ _ ] -> Ok ()
+        | reference :: rest ->
+            let entry_to_string (key, (clock, origin)) =
+              Printf.sprintf "%s@%d.%d" key clock origin
+            in
+            let entry_equal (k1, t1) (k2, t2) =
+              String.equal k1 k2 && Scd.ts_compare t1 t2 = 0
+            in
+            let rec first_difference a b =
+              match (a, b) with
+              | [], [] -> "none"
+              | e :: _, [] -> Printf.sprintf "%s missing" (entry_to_string e)
+              | [], e :: _ -> Printf.sprintf "%s extra" (entry_to_string e)
+              | e1 :: r1, e2 :: r2 ->
+                  if entry_equal e1 e2 then first_difference r1 r2
+                  else Printf.sprintf "%s vs %s" (entry_to_string e1) (entry_to_string e2)
+            in
+            let rec first_divergence i = function
+              | [] -> Ok ()
+              | table :: rest ->
+                  if List.equal entry_equal reference table then first_divergence (i + 1) rest
+                  else
+                    Error
+                      (Printf.sprintf
+                         "member %d diverges from member 0 (%d vs %d keys; first: %s)" i
+                         (List.length table) (List.length reference)
+                         (first_difference reference table))
+            in
+            first_divergence 1 rest);
   }
 
 (* ---- airline ---- *)

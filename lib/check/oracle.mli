@@ -73,6 +73,21 @@ val replica_sync_budget : budget:int -> t
     [replica.sync.over_budget] counter is zero and the largest recorded
     sync payload ([replica.sync.max_bytes]) is within [budget]. *)
 
+(** {1 Register / snapshot oracles} *)
+
+val linearizable : clients:string -> ?max_states:int -> unit -> t
+(** The operation histories captured in the stable stores of every
+    [clients] guardian (the workload drivers, via {!Linearize.record})
+    admit a linearization; fails with the checker's deterministic reason
+    otherwise, or when no operation at all was recorded (a run too faulted
+    to exercise the register would otherwise vacuously pass). *)
+
+val table_convergence : def_name:string -> t
+(** Every live member of an SCD object group ([def_name] is
+    {!Dcp_primitives.Register.def_name} or
+    {!Dcp_primitives.Snapshot.def_name}) mirrors the same key → ts table
+    ({!Dcp_primitives.Register.Table.in_store}) at quiescence. *)
+
 (** {1 Airline oracles} *)
 
 val airline_seat_ledger : capacity:int -> waitlist_capacity:int -> t

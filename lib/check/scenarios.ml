@@ -387,7 +387,271 @@ let replica_1k =
     run = run_replica ~replicas:1000;
   }
 
-let all = [ bank; airline; itinerary; replica ]
-let every = all @ [ bank_mutated; replica_1k ]
+(* ---- register / snapshot: SCD-broadcast atomic objects ---- *)
+
+module Register = Dcp_primitives.Register
+module Snapshot = Dcp_primitives.Snapshot
+module Scd = Dcp_primitives.Scd
+
+let register_status_every = Clock.ms 100
+let register_op_timeout = Clock.ms 1500
+let register_client_def = "scd_register_client"
+let snapshot_client_def = "scd_snapshot_client"
+
+(* Spread [workload] operations over [clients] drivers. *)
+let split_workload ~clients workload =
+  List.init clients (fun i -> (workload / clients) + if i < workload mod clients then 1 else 0)
+
+type op_counts = {
+  mutable ok : int;  (** completed with a reply *)
+  mutable unknown : int;  (** timed out: effect unknown, recorded pending *)
+  mutable no_effect : int;  (** refused/failed before execution: not recorded *)
+}
+
+(* One history-recording client: every completed or timed-out operation
+   goes into the driver's own stable store ({!Linearize.record}), making
+   the linearizability oracle a pure function of the finished world.
+   Calls are single-attempt — a retry would re-execute under the same rid
+   (answered from the durable request record, fine) but a {e fresh} rid
+   would re-broadcast the write and break the history; timeout means
+   "pending", never "retry". *)
+let run_client ctx ~counts ~rng ~ports ~keys ~write_pct ~use_snapshots ~idx ~count ~gap =
+  let members = Array.length ports in
+  let recorded = ref 0 in
+  let record event =
+    Linearize.record ctx ~seq:!recorded event;
+    incr recorded
+  in
+  Runtime.sleep ctx (Clock.ms 120);
+  for i = 1 to count do
+    let member = ports.(Rng.int rng members) in
+    let key = Printf.sprintf "x%d" (Rng.int rng keys) in
+    let value = (idx * 1_000_000) + i in
+    let rid = 4_000_000_000 + (idx * 1_000_000) + i in
+    let roll = Rng.int rng 100 in
+    let op, command, args =
+      if roll < write_pct then
+        ( Linearize.Write (key, value),
+          (if use_snapshots then "update" else "write"),
+          [ Value.str key; Value.int value ] )
+      else if use_snapshots then (Linearize.Snapshot, "snapshot", [])
+      else (Linearize.Read key, "read", [ Value.str key ])
+    in
+    let inv = Runtime.ctx_now ctx in
+    let outcome =
+      Rpc.call ctx ~to_:member ~timeout:register_op_timeout ~attempts:1 ~request_id:rid
+        command args
+    in
+    let resp = Runtime.ctx_now ctx in
+    let finish reply =
+      counts.ok <- counts.ok + 1;
+      record { Linearize.client = idx; op; reply = Some reply; inv; resp }
+    in
+    (match (op, outcome) with
+    | Linearize.Write _, Rpc.Reply ("written", []) | Linearize.Write _, Rpc.Reply ("updated", [])
+      ->
+        finish Linearize.Acked
+    | Linearize.Read _, Rpc.Reply ("value", [ Value.Int v ]) ->
+        finish (Linearize.Value_is (Some v))
+    | Linearize.Read _, Rpc.Reply ("unknown_key", []) -> finish (Linearize.Value_is None)
+    | Linearize.Snapshot, Rpc.Reply ("state", [ Value.Listv entries ]) -> (
+        let parsed =
+          List.fold_left
+            (fun acc v ->
+              match (acc, v) with
+              | Some parsed, Value.Tuple [ Value.Str k; Value.Int v ] -> Some ((k, v) :: parsed)
+              | _, _ -> None)
+            (Some []) entries
+        in
+        match parsed with
+        | Some entries -> finish (Linearize.State_is (List.rev entries))
+        | None -> counts.no_effect <- counts.no_effect + 1)
+    | _, Rpc.Timeout ->
+        (* Post-timeout uncertainty (§3.5): the op may or may not have taken
+           effect; the checker treats it as pending. *)
+        counts.unknown <- counts.unknown + 1;
+        record { Linearize.client = idx; op; reply = None; inv; resp = max_int }
+    | _, (Rpc.Reply _ | Rpc.Failure_msg _) ->
+        (* not_ready, or the request was discarded before reaching the
+           member: guaranteed no effect, excluded from the history. *)
+        counts.no_effect <- counts.no_effect + 1);
+    Runtime.sleep ctx (gap + Rng.int rng (Int.max 1 (gap / 2)))
+  done
+
+let install_clients world ~def_name ~at ~ports ~keys ~write_pct ~use_snapshots ~counts
+    ~workload ~clients ~horizon =
+  let def : Runtime.def =
+    {
+      Runtime.def_name;
+      provides = [ ([ Vtype.wildcard ], 64) ];
+      init =
+        (fun ctx args ->
+          match args with
+          | [ Value.Int idx; Value.Int count ] ->
+              let rng = Rng.split (Runtime.world_rng world) in
+              let gap = Int.max (Clock.ms 10) (horizon / Int.max 1 count) in
+              run_client ctx ~counts ~rng ~ports ~keys ~write_pct ~use_snapshots ~idx ~count
+                ~gap
+          | _ -> invalid_arg (def_name ^ ": bad creation arguments"));
+      recover = None;
+    }
+  in
+  Runtime.register_def world def;
+  List.iteri
+    (fun idx count ->
+      ignore
+        (Runtime.create_guardian world ~at ~def_name
+           ~args:[ Value.int idx; Value.int count ]))
+    (split_workload ~clients workload)
+
+let scd_outcome ~params ~world ~object_def ~client_def ~counts ~issued =
+  (* Quiescence probe, as in [run_replica]: step until every member's
+     durable table agrees, measuring convergence past the fault horizon. *)
+  let step = Clock.ms 250 in
+  let max_steps = 200 in
+  let converged () =
+    Result.is_ok (Oracle.check_all [ Oracle.table_convergence ~def_name:object_def ] world)
+  in
+  let rec probe i =
+    if converged () then true
+    else if i >= max_steps then false
+    else begin
+      Runtime.run_for world step;
+      probe (i + 1)
+    end
+  in
+  let convergence_ms =
+    if probe 0 then (Runtime.now world - params.Scenario.horizon) / Clock.ms 1 else -1
+  in
+  let metric name = Metrics.count (Metrics.counter (Runtime.metrics world) name) in
+  let keys =
+    match Runtime.find_guardians world ~def_name:object_def with
+    | [] -> 0
+    | g :: _ -> List.length (Register.Table.in_store (Runtime.guardian_store g))
+  in
+  let verdict =
+    if issued < params.Scenario.workload then
+      Scenario.Fail
+        (Printf.sprintf "drivers issued only %d of %d operations" issued
+           params.Scenario.workload)
+    else
+      verdict_of
+        [
+          Oracle.linearizable ~clients:client_def ();
+          Oracle.table_convergence ~def_name:object_def;
+        ]
+        world
+  in
+  {
+    Scenario.verdict;
+    fingerprint =
+      world_fingerprint world
+        (Printf.sprintf " ok=%d unk=%d ne=%d conv=%d" counts.ok counts.unknown
+           counts.no_effect convergence_ms);
+    stats =
+      [
+        ("ops_ok", counts.ok);
+        ("ops_unknown", counts.unknown);
+        ("ops_no_effect", counts.no_effect);
+        ("keys", keys);
+        ("convergence_ms", convergence_ms);
+        ("scd_msgs", metric Scd.metric_msgs);
+        ("scd_sets", metric Scd.metric_sets);
+        ("malformed", metric Scd.metric_malformed + metric Register.metric_malformed);
+        ("events", Engine.events_executed (Runtime.engine world));
+      ];
+  }
+
+let register_members = 5
+let register_keys = 4
+let register_client_count = 4
+
+let run_register ~stale_reads (params : Scenario.params) =
+  let profile = params.profile in
+  let config = { Runtime.default_config with crash_tear_p = 0.0 } in
+  let world =
+    Runtime.create_world ~seed:params.seed
+      ~topology:(Topology.full_mesh ~n:(register_members + 1) profile.Profile.link)
+      ~config ()
+  in
+  let nodes = List.init register_members Fun.id in
+  let ports =
+    Array.of_list
+      (Register.create_group world ~nodes ~status_every:register_status_every ~stale_reads
+         ~introduce_at:register_members ())
+  in
+  let counts = { ok = 0; unknown = 0; no_effect = 0 } in
+  install_clients world ~def_name:register_client_def ~at:register_members ~ports
+    ~keys:register_keys ~write_pct:55 ~use_snapshots:false ~counts ~workload:params.workload
+    ~clients:register_client_count ~horizon:params.horizon;
+  Chaos.schedule_crashes world ~rng:(chaos_rng params.seed) ~profile ~nodes
+    ~horizon:params.horizon;
+  (* Settle bound: each op blocks at most one 1.5 s timeout plus pacing,
+     drivers run concurrently, and the last delivery needs a status round
+     past the last crash; virtual time is free. *)
+  Runtime.run_for world (params.horizon + Clock.s 60);
+  scd_outcome ~params ~world ~object_def:Register.def_name ~client_def:register_client_def
+    ~counts
+    ~issued:(counts.ok + counts.unknown + counts.no_effect)
+
+let register =
+  {
+    Scenario.name = "register";
+    descr = "SCD-broadcast atomic registers under churn; linearizability of client histories";
+    default_horizon = Clock.s 4;
+    default_workload = 48;
+    run = run_register ~stale_reads:false;
+  }
+
+let register_mutated =
+  {
+    Scenario.name = "register_mutated";
+    descr =
+      "register without delivery barriers: fast-acked writes, stale local reads (harness self-test; must fail)";
+    default_horizon = Clock.s 4;
+    default_workload = 48;
+    run = run_register ~stale_reads:true;
+  }
+
+let snapshot_members = 4
+let snapshot_keys = 3
+let snapshot_client_count = 3
+
+let run_snapshot (params : Scenario.params) =
+  let profile = params.profile in
+  let config = { Runtime.default_config with crash_tear_p = 0.0 } in
+  let world =
+    Runtime.create_world ~seed:params.seed
+      ~topology:(Topology.full_mesh ~n:(snapshot_members + 1) profile.Profile.link)
+      ~config ()
+  in
+  let nodes = List.init snapshot_members Fun.id in
+  let ports =
+    Array.of_list
+      (Snapshot.create_group world ~nodes ~status_every:register_status_every
+         ~introduce_at:snapshot_members ())
+  in
+  let counts = { ok = 0; unknown = 0; no_effect = 0 } in
+  install_clients world ~def_name:snapshot_client_def ~at:snapshot_members ~ports
+    ~keys:snapshot_keys ~write_pct:60 ~use_snapshots:true ~counts ~workload:params.workload
+    ~clients:snapshot_client_count ~horizon:params.horizon;
+  Chaos.schedule_crashes world ~rng:(chaos_rng params.seed) ~profile ~nodes
+    ~horizon:params.horizon;
+  Runtime.run_for world (params.horizon + Clock.s 60);
+  scd_outcome ~params ~world ~object_def:Snapshot.def_name ~client_def:snapshot_client_def
+    ~counts
+    ~issued:(counts.ok + counts.unknown + counts.no_effect)
+
+let snapshot =
+  {
+    Scenario.name = "snapshot";
+    descr = "SCD-broadcast snapshot object under churn; atomic whole-state views";
+    default_horizon = Clock.s 4;
+    default_workload = 24;
+    run = run_snapshot;
+  }
+
+let all = [ bank; airline; itinerary; replica; register; snapshot ]
+let every = all @ [ bank_mutated; replica_1k; register_mutated ]
 let find name = List.find_opt (fun s -> String.equal s.Scenario.name name) every
 let names = List.map (fun s -> s.Scenario.name) every

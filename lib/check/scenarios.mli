@@ -15,17 +15,29 @@
       sync message under the byte budget, convergence time measured.
     - [replica_1k]: the same protocol at 1000 replicas — a scale probe
       runnable by name but kept out of the default sweep.
+    - [register]: SCD-broadcast atomic registers (5 members) under client
+      load and churn; the recorded per-client histories must linearize and
+      every member's durable table must converge.
+    - [snapshot]: the SCD snapshot object (4 members); same oracles, with
+      whole-state snapshot views in the histories.
     - [bank_mutated]: [bank] with a reference model that deliberately
       ignores the first transfer — the harness self-test.  It MUST fail on
       most seeds; a sweep that reports it green means the checker itself
-      is broken. *)
+      is broken.
+    - [register_mutated]: [register] without delivery barriers — writes
+      acked at broadcast time, reads served from the stale local copy —
+      the linearizability oracle's self-test; must fail under profiles
+      with real network delay. *)
 
 val bank : Scenario.t
 val airline : Scenario.t
 val itinerary : Scenario.t
 val replica : Scenario.t
+val register : Scenario.t
+val snapshot : Scenario.t
 val replica_1k : Scenario.t
 val bank_mutated : Scenario.t
+val register_mutated : Scenario.t
 
 val all : Scenario.t list
 (** The honest default-sweep scenarios (excludes [bank_mutated] and

@@ -16,6 +16,9 @@ let () =
       ("primitives", Test_primitives.tests);
       ("ordered", Test_ordered.tests);
       ("replica", Test_replica.tests);
+      ("scd", Test_scd.tests);
+      ("register", Test_register.tests);
+      ("linearize", Test_linearize.tests);
       ("heartbeat", Test_heartbeat.tests);
       ("failover", Test_failover.tests);
       ("assoc", Test_assoc.tests);

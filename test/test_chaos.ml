@@ -59,6 +59,19 @@ let test_replica_wan_lossy_crash () =
 let test_replica_lossy () =
   check_point Scenarios.replica ~seed:23 ~profile:"lossy+crash" ~stat:"keys" ~at_least:100
 
+(* SCD registers and snapshots at the harsh end of the matrix: the
+   linearizability and table-convergence oracles under wan latency, 5%
+   loss and crash churn.  The ops_ok floors reject runs where every client
+   call timed out and the history checks vacuously. *)
+let test_register_wan_lossy_crash () =
+  check_point Scenarios.register ~seed:3 ~profile:"wan+lossy+crash" ~stat:"ops_ok" ~at_least:20
+
+let test_register_lossy () =
+  check_point Scenarios.register ~seed:14 ~profile:"lossy+crash" ~stat:"ops_ok" ~at_least:20
+
+let test_snapshot_wan_lossy_crash () =
+  check_point Scenarios.snapshot ~seed:2 ~profile:"wan+lossy+crash" ~stat:"ops_ok" ~at_least:8
+
 let tests =
   [
     Alcotest.test_case "airline invariants under churn" `Slow test_airline_chaos;
@@ -69,4 +82,9 @@ let tests =
     Alcotest.test_case "replica convergence under wan+lossy+crash" `Slow
       test_replica_wan_lossy_crash;
     Alcotest.test_case "replica convergence under lossy+crash" `Slow test_replica_lossy;
+    Alcotest.test_case "register linearizable under wan+lossy+crash" `Slow
+      test_register_wan_lossy_crash;
+    Alcotest.test_case "register linearizable under lossy+crash" `Slow test_register_lossy;
+    Alcotest.test_case "snapshot views under wan+lossy+crash" `Slow
+      test_snapshot_wan_lossy_crash;
   ]
