@@ -25,6 +25,7 @@ let registry =
     ("e10", Experiments.e10);
     ("micro", Micro.run);
     ("replica-rows", Micro.run_replica_gate);
+    ("scaling", Scaling.run);
   ]
 
 let () =

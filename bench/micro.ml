@@ -73,6 +73,20 @@ let test_heap =
            ignore (Heap.pop h)
          done))
 
+(* Depth matters to the sift: 1k keys is ~5 levels of the 4-ary heap
+   (vs ~10 of a binary one), so this row tracks the per-level cost the
+   shallow x64 row can hide. *)
+let test_heap_1k =
+  Test.make ~name:"heap push+pop x1k"
+    (Staged.stage (fun () ->
+         let h = Heap.create ~cmp:Int.compare in
+         for i = 0 to 1023 do
+           Heap.push h ((i * 997) mod 1024)
+         done;
+         for _ = 0 to 1023 do
+           ignore (Heap.pop h)
+         done))
+
 let test_wal_append =
   Test.make ~name:"wal.append 64B"
     (Staged.stage
@@ -252,6 +266,7 @@ let all_tests =
     test_fragment;
     test_fragment_reassemble;
     test_heap;
+    test_heap_1k;
     test_wal_append;
     test_wal_replay_1k;
     test_token;
@@ -492,13 +507,46 @@ let sendcost_rows () =
     Runtime.run_for world (Clock.s 30);
     !cost
   in
+  (* snapshot-object update on a 4-member group: same SCD broadcast
+     skeleton as the register write, but the group serves no per-key
+     reads, so the row isolates the pure update/gossip cost at a
+     different group size. *)
+  let snapshot_cost =
+    let module Snapshot = Dcp_primitives.Snapshot in
+    let members = 4 in
+    let world =
+      Runtime.create_world ~seed:29
+        ~topology:(Topology.full_mesh ~n:(members + 1) Dcp_net.Link.perfect)
+        ()
+    in
+    let snaps =
+      Array.of_list
+        (Snapshot.create_group world ~nodes:(List.init members Fun.id) ~introduce_at:members ())
+    in
+    let cost = ref 0.0 in
+    driver world ~at:members ~name:"bench_snapshot_driver" (fun ctx ->
+        Runtime.sleep ctx (Clock.s 2);
+        cost :=
+          measure ctx (fun () ->
+              for i = 1 to ops do
+                ignore
+                  (Snapshot.update ctx
+                     ~snapshot:snaps.(i mod members)
+                     ~key:(Printf.sprintf "k%d" (i mod 4))
+                     ~value:(Value.int i) ~timeout:(Clock.s 2))
+              done));
+    Runtime.run_for world (Clock.s 30);
+    !cost
+  in
   Printf.printf "  %-40s %12.1f msgs/op\n%!" "sendcost.sync_send (pair)" sync_cost;
   Printf.printf "  %-40s %12.1f msgs/op\n%!" "sendcost.rpc (pair)" rpc_cost;
   Printf.printf "  %-40s %12.1f msgs/op\n%!" "sendcost.scd register write (5 members)" scd_cost;
+  Printf.printf "  %-40s %12.1f msgs/op\n%!" "sendcost.scd snapshot update (4 members)" snapshot_cost;
   [
     ("sendcost.sync_send (pair) (msgs/op)", Some sync_cost);
     ("sendcost.rpc (pair) (msgs/op)", Some rpc_cost);
     ("sendcost.scd register write (5 members) (msgs/op)", Some scd_cost);
+    ("sendcost.scd snapshot update (4 members) (msgs/op)", Some snapshot_cost);
   ]
 
 let json_path = "BENCH_micro.json"
@@ -531,33 +579,66 @@ let write_json ?(path = json_path) rows =
   Printf.fprintf oc "\n  ]\n}\n";
   close_out oc
 
+(* One bechamel pass over [all_tests], silent: (name, ns/run option) in
+   test order. *)
+let timing_pass () =
+  List.concat_map
+    (fun test ->
+      let instance = Instance.monotonic_clock in
+      let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) () in
+      let raw = Benchmark.all cfg [ instance ] test in
+      let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+      let results = Analyze.all ols instance raw in
+      let pass = ref [] in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> pass := (name, Some est) :: !pass
+          | Some _ | None -> pass := (name, None) :: !pass)
+        results;
+      (* one row per Test.make, so the hashtable holds a single binding *)
+      List.rev !pass)
+    all_tests
+
+(* A wall-clock estimate is only as good as the quietest window it saw:
+   co-tenant interference inflates a pass one-sidedly, so the per-row
+   minimum over a few full passes converges on the undisturbed cost —
+   which is the quantity the @bench-diff timing gate means to pin. *)
+let timing_passes = 3
+
+let timing_rows () =
+  let merged = ref (timing_pass ()) in
+  for _ = 2 to timing_passes do
+    merged :=
+      List.map2
+        (fun (name, best) (name', est) ->
+          assert (String.equal name name');
+          ( name,
+            match (best, est) with
+            | Some a, Some b -> Some (Float.min a b)
+            | (Some _ as v), None | None, v -> v ))
+        !merged (timing_pass ())
+  done;
+  List.iter
+    (fun (name, est) ->
+      match est with
+      | Some est -> Printf.printf "  %-32s %12.1f ns/run\n%!" name est
+      | None -> Printf.printf "  %-32s (no estimate)\n%!" name)
+    !merged;
+  !merged
+
 let run () =
   print_newline ();
-  print_endline "== Micro-benchmarks (bechamel, monotonic clock) ==";
-  let rows = ref [] in
-  let benchmark test =
-    let instance = Instance.monotonic_clock in
-    let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) () in
-    let raw = Benchmark.all cfg [ instance ] test in
-    let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
-    let results = Analyze.all ols instance raw in
-    Hashtbl.iter
-      (fun name result ->
-        match Analyze.OLS.estimates result with
-        | Some [ est ] ->
-            rows := (name, Some est) :: !rows;
-            Printf.printf "  %-32s %12.1f ns/run\n%!" name est
-        | Some _ | None ->
-            rows := (name, None) :: !rows;
-            Printf.printf "  %-32s (no estimate)\n%!" name)
-      results
-  in
-  List.iter benchmark all_tests;
+  Printf.printf "== Micro-benchmarks (bechamel, monotonic clock, min of %d passes) ==\n%!"
+    timing_passes;
+  let timing = timing_rows () in
   print_endline "== Replica macro rows (deterministic, virtual units) ==";
   let macro = replica_rows () in
   print_endline "== Message-cost rows (deterministic, msgs/op) ==";
   let sendcost = sendcost_rows () in
-  write_json (List.rev !rows @ macro @ sendcost);
+  print_endline "== Domain-scaling rows (wall clock, msgs/s) ==";
+  let scaling = Scaling.rows () in
+  write_json (timing @ macro @ sendcost @ scaling);
   Printf.printf "  wrote %s\n%!" json_path
 
 (* The deterministic rows alone, written to their own file: being exact,

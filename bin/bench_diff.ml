@@ -1,13 +1,29 @@
-(* Compare two `dcp.bench.micro/v1` JSON files and fail (exit 1) when any
-   row regresses by more than the threshold:
+(* Compare two `dcp.bench.micro/v1` JSON files and fail (exit 1) on any
+   regressed row:
 
      bench_diff.exe BASELINE.json CANDIDATE.json [--threshold PCT] [--rows a,b,...]
 
-   `--rows` restricts the gate to the named rows; by default every row
-   present in both files is gated.  Rows with a null estimate on either
-   side are reported but never gated.  The parser below covers exactly the
-   JSON subset our emitter produces (objects, arrays, strings, numbers,
-   null) so the tool has no dependencies beyond the stdlib. *)
+   Rows are classed by the unit suffix in their name:
+
+   - exact   — "(msgs/op)", "(virtual ms)", "(bytes)": deterministic
+               functions of the pinned seed, gated at 0% drift (ANY
+               change fails, in either direction — an improvement must
+               update the committed baseline, not slip past the gate);
+   - thruput — "(msgs/s)", "(x)": wall-clock throughput, higher is
+               better; regressed when the candidate is LOWER than the
+               baseline by more than TWICE the threshold (shared-host
+               interference is one-sided — it only ever slows a run —
+               so downward noise runs hotter than timing jitter);
+   - timing  — everything else (ns/op): regressed when HIGHER than the
+               baseline by more than the threshold.
+
+   `--threshold` (default 25%) applies to the thruput/timing classes
+   only.  `--rows` restricts the gate to the named rows; by default every
+   row present in both files is gated.  Rows with a null estimate on
+   either side are reported but never gated.  The parser below covers
+   exactly the JSON subset our emitter produces (objects, arrays,
+   strings, numbers, null) so the tool has no dependencies beyond the
+   stdlib. *)
 
 type json =
   | Null
@@ -156,6 +172,21 @@ let parse_json (s : string) : json =
 
 let schema = "dcp.bench.micro/v1"
 
+type row_class = Exact | Throughput | Timing
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m > 0 && go 0
+
+let classify name =
+  if
+    contains_sub name "(msgs/op)" || contains_sub name "(virtual ms)"
+    || contains_sub name "(bytes)"
+  then Exact
+  else if contains_sub name "(msgs/s)" || contains_sub name "(x)" then Throughput
+  else Timing
+
 (* name -> ns_per_op option, in file order *)
 let load_rows path =
   let ic = open_in_bin path in
@@ -242,8 +273,15 @@ let () =
               Printf.printf "%-42s %12.1f %12s %9s\n" name base "null" "?";
               if gated name then missing := name :: !missing
           | Some cand ->
-              let delta = (cand -. base) /. base *. 100.0 in
-              let regressed = gated name && delta > !threshold in
+              let delta = if base = 0.0 then 0.0 else (cand -. base) /. base *. 100.0 in
+              let regressed =
+                gated name
+                &&
+                match classify name with
+                | Exact -> cand <> base
+                | Throughput -> delta < -2.0 *. !threshold
+                | Timing -> delta > !threshold
+              in
               Printf.printf "%-42s %12.1f %12.1f %+8.1f%%%s\n" name base cand delta
                 (if regressed then "  << REGRESSION" else "");
               if regressed then regressions := (name, delta) :: !regressions))
@@ -261,8 +299,8 @@ let () =
     exit 1
   end;
   if !regressions <> [] then begin
-    Printf.printf "\nFAIL: %d row(s) regressed beyond %.0f%%\n"
+    Printf.printf "\nFAIL: %d row(s) regressed (exact rows pinned at 0%%, others at %.0f%%)\n"
       (List.length !regressions) !threshold;
     exit 1
   end;
-  Printf.printf "\nOK: no row regressed beyond %.0f%%\n" !threshold
+  Printf.printf "\nOK: no row regressed (exact rows pinned at 0%%, others at %.0f%%)\n" !threshold

@@ -76,16 +76,34 @@ let workload_arg =
 let intensity_arg =
   Arg.(value & opt float 1.0 & info [ "intensity" ] ~doc:"Fault-intensity scale in [0,1].")
 
+let shards_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "shards" ]
+        ~doc:
+          "Partition the world into N shards (guardian-affinity placement, epoch-barrier \
+           cross-shard messaging).  The fingerprint depends on (seed, shards).")
+
+let parallel_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "parallel" ]
+        ~doc:
+          "Run the shards on N domains.  Must not change any fingerprint — a divergence from \
+           the sequential run is a determinism bug.")
+
 (* ---- run ---- *)
 
-let run_run scenario_name seed profile_name horizon_ms workload intensity =
+let run_run scenario_name seed profile_name horizon_ms workload intensity shards parallel =
   match (scenario_of_name scenario_name, profiles_of_names [ profile_name ]) with
   | Error e, _ | _, Error e -> `Error (false, e)
   | Ok scenario, Ok [ profile ] ->
       let outcome =
         Check.Scenario.execute scenario ~seed ~profile
           ?horizon:(horizon_of_ms horizon_ms)
-          ?workload ~intensity ()
+          ?workload ~intensity ~shards ~parallel ()
       in
       Format.printf "%s seed=%d profile=%s: %a@." scenario_name seed profile_name
         Check.Scenario.pp_outcome outcome;
@@ -100,11 +118,12 @@ let run_cmd =
     Term.(
       ret
         (const run_run $ scenario_arg $ seed_arg $ profile_arg $ horizon_arg $ workload_arg
-       $ intensity_arg))
+       $ intensity_arg $ shards_arg $ parallel_arg))
 
 (* ---- sweep ---- *)
 
-let run_sweep scenario_name profile_names seeds seed_base horizon_ms workload json_path quiet =
+let run_sweep scenario_name profile_names seeds seed_base horizon_ms workload shards parallel
+    json_path quiet =
   let scenarios =
     if String.equal scenario_name "all" then Ok Check.Scenarios.all
     else Result.map (fun s -> [ s ]) (scenario_of_name scenario_name)
@@ -118,7 +137,7 @@ let run_sweep scenario_name profile_names seeds seed_base horizon_ms workload js
             let sweep =
               Check.Sweep.run
                 ?horizon:(horizon_of_ms horizon_ms)
-                ?workload scenario ~profiles ~seed_base ~seeds
+                ?workload ~shards ~parallel scenario ~profiles ~seed_base ~seeds
             in
             if not quiet then Format.printf "%a@." Check.Sweep.pp sweep;
             sweep)
@@ -161,7 +180,7 @@ let sweep_cmd =
     Term.(
       ret
         (const run_sweep $ scenario_arg $ profiles_arg $ seeds_arg $ seed_base_arg $ horizon_arg
-       $ workload_arg $ json_arg $ quiet_arg))
+       $ workload_arg $ shards_arg $ parallel_arg $ json_arg $ quiet_arg))
 
 (* ---- shrink ---- *)
 

@@ -19,29 +19,68 @@ let schedule_crashes world ~rng ~profile ~nodes ~horizon =
   | None, _ | _, [] -> ()
   | Some every, _ :: _ ->
       let outage = profile.Profile.crash_outage in
-      let engine = Runtime.engine world in
       let jitter = Int.max 1 (every / 2) in
-      let rec plan at =
-        if at < horizon then begin
-          let jittered = at + Rng.int rng jitter in
-          ignore
-            (Engine.schedule engine ~at:jittered (fun () ->
-                 let victim = Rng.choice_list rng nodes in
-                 if Runtime.node_up world victim then begin
-                   Runtime.crash_node world victim;
-                   ignore
-                     (Engine.schedule_after engine ~delay:outage (fun () ->
-                          Runtime.restart_node world victim))
-                 end));
-          plan (at + every)
-        end
-      in
-      plan every;
-      (* Whatever the interleaving, leave no node down past the horizon. *)
-      ignore
-        (Engine.schedule engine
-           ~at:(horizon + outage + Clock.s 1)
-           (fun () ->
-             List.iter
-               (fun node -> if not (Runtime.node_up world node) then Runtime.restart_node world node)
-               nodes))
+      if Runtime.shard_count world = 1 then begin
+        (* Unsharded path, kept verbatim: victims are drawn lazily at event
+           time, which interleaves the rng with engine execution in a way
+           pinned by historical fingerprints. *)
+        let engine = Runtime.engine world in
+        let rec plan at =
+          if at < horizon then begin
+            let jittered = at + Rng.int rng jitter in
+            ignore
+              (Engine.schedule engine ~at:jittered (fun () ->
+                   let victim = Rng.choice_list rng nodes in
+                   if Runtime.node_up world victim then begin
+                     Runtime.crash_node world victim;
+                     ignore
+                       (Engine.schedule_after engine ~delay:outage (fun () ->
+                            Runtime.restart_node world victim))
+                   end));
+            plan (at + every)
+          end
+        in
+        plan every;
+        (* Whatever the interleaving, leave no node down past the horizon. *)
+        ignore
+          (Engine.schedule engine
+             ~at:(horizon + outage + Clock.s 1)
+             (fun () ->
+               List.iter
+                 (fun node ->
+                   if not (Runtime.node_up world node) then Runtime.restart_node world node)
+                 nodes))
+      end
+      else begin
+        (* Sharded worlds: a crash event must run on the victim's own shard
+           (crash/restart touch only that shard's state), so the whole plan
+           is drawn up front and each event is pinned with [schedule_at].
+           The draw order — every jitter, then every victim — matches the
+           lazy path's actual consumption order (jitters at plan time,
+           victims in chronological event order), so a given chaos rng
+           produces the same plan either way. *)
+        let rec times at acc =
+          if at < horizon then times (at + every) ((at + Rng.int rng jitter) :: acc)
+          else List.rev acc
+        in
+        let plan =
+          List.map (fun at -> (at, Rng.choice_list rng nodes)) (times every [])
+        in
+        List.iter
+          (fun (at, victim) ->
+            Runtime.schedule_at world ~node:victim ~at (fun () ->
+                if Runtime.node_up world victim then begin
+                  Runtime.crash_node world victim;
+                  Runtime.schedule_at world ~node:victim ~at:(at + outage) (fun () ->
+                      Runtime.restart_node world victim)
+                end))
+          plan;
+        (* Final sweep, one event per node so each runs on its own shard. *)
+        List.iter
+          (fun node ->
+            Runtime.schedule_at world ~node
+              ~at:(horizon + outage + Clock.s 1)
+              (fun () ->
+                if not (Runtime.node_up world node) then Runtime.restart_node world node))
+          nodes
+      end

@@ -5,6 +5,8 @@ type params = {
   profile : Profile.t;
   horizon : Clock.time;
   workload : int;
+  shards : int;
+  parallel : bool;
 }
 
 type verdict = Pass | Fail of string
@@ -23,11 +25,12 @@ type t = {
   run : params -> outcome;
 }
 
-let execute t ~seed ~profile ?horizon ?workload ?(intensity = 1.0) () =
+let execute t ~seed ~profile ?horizon ?workload ?(intensity = 1.0) ?(shards = 1)
+    ?(parallel = false) () =
   let profile = Profile.scale profile ~intensity in
   let horizon = Option.value horizon ~default:t.default_horizon in
   let workload = Option.value workload ~default:t.default_workload in
-  t.run { seed; profile; horizon; workload }
+  t.run { seed; profile; horizon; workload; shards; parallel }
 
 let fail_reason outcome = match outcome.verdict with Pass -> None | Fail reason -> Some reason
 

@@ -14,6 +14,8 @@ type params = {
   profile : Profile.t;
   horizon : Clock.time;  (** fault-injection and workload-pacing window *)
   workload : int;  (** scenario-defined size knob (transfers, clerks, trips) *)
+  shards : int;  (** world partition count; part of the determinism surface *)
+  parallel : bool;  (** run shards on domains (must not change the fingerprint) *)
 }
 
 type verdict = Pass | Fail of string
@@ -41,10 +43,15 @@ val execute :
   ?horizon:Clock.time ->
   ?workload:int ->
   ?intensity:float ->
+  ?shards:int ->
+  ?parallel:bool ->
   unit ->
   outcome
 (** Run with defaults filled in; [intensity] rescales the profile's fault
-    probabilities ({!Profile.scale}, default 1.0). *)
+    probabilities ({!Profile.scale}, default 1.0).  [shards] (default 1)
+    partitions the world; the fingerprint is a function of
+    (seed, profile, horizon, workload, shards) and must not depend on
+    [parallel]. *)
 
 val fail_reason : outcome -> string option
 val stat : outcome -> string -> int

@@ -18,10 +18,11 @@ module Rng = Dcp_rng.Rng
    pure function of the seed. *)
 let chaos_rng seed = Rng.create ~seed:(seed lxor 0x2545F4914F6CDD1D)
 
+(* Aggregated across shards; for one shard these are exactly the single
+   engine/network counters the historical fingerprints pinned. *)
 let world_fingerprint world extra =
-  let net = Network.stats (Runtime.network world) in
-  Printf.sprintf "ev=%d sent=%d lost=%d%s"
-    (Engine.events_executed (Runtime.engine world))
+  let net = Runtime.network_stats world in
+  Printf.sprintf "ev=%d sent=%d lost=%d%s" (Runtime.events_executed world)
     net.Network.messages_sent net.Network.fragments_lost extra
 
 let verdict_of oracles world =
@@ -44,7 +45,7 @@ let run_bank ~model_skips (params : Scenario.params) =
   let world =
     Runtime.create_world ~seed:params.seed
       ~topology:(Topology.full_mesh ~n:4 profile.Profile.link)
-      ~config ()
+      ~config ~shards:params.shards ~parallel:params.parallel ()
   in
   let b0 = Branch.create world ~at:0 ~accounts:(bank_accounts "a") () in
   let b1 = Branch.create world ~at:1 ~accounts:(bank_accounts "b") () in
@@ -52,7 +53,7 @@ let run_bank ~model_skips (params : Scenario.params) =
   let ledger = ref [] in
   let gap = Int.max (Clock.ms 5) (params.horizon / Int.max 1 params.workload) in
   Chaos.driver world ~at:3 ~name:"check_bank_driver" (fun ctx ->
-      let rng = Rng.split (Runtime.world_rng world) in
+      let rng = Rng.split (Runtime.ctx_rng ctx) in
       for i = 1 to params.workload do
         let tid = 4_000_000_000 + i in
         let forward = i mod 2 = 0 in
@@ -113,7 +114,7 @@ let run_bank ~model_skips (params : Scenario.params) =
       [
         ("transfers_ok", ok);
         ("transfers_timeout", timeouts);
-        ("events", Engine.events_executed (Runtime.engine world));
+        ("events", Runtime.events_executed world);
       ];
   }
 
@@ -186,7 +187,7 @@ let run_airline (params : Scenario.params) =
         ("requests_ok", report.Cluster.requests_ok);
         ("requests_failed", report.Cluster.requests_failed);
         ("transactions_completed", report.Cluster.transactions_completed);
-        ("events", Engine.events_executed (Runtime.engine world));
+        ("events", Runtime.events_executed world);
       ];
   }
 
@@ -207,7 +208,7 @@ let run_itinerary (params : Scenario.params) =
   let world =
     Runtime.create_world ~seed:params.seed
       ~topology:(Topology.full_mesh ~n:4 profile.Profile.link)
-      ~config ()
+      ~config ~shards:params.shards ~parallel:params.parallel ()
   in
   let f1 = Flight.create world ~at:0 ~flight:1 ~capacity:6 ~service_time:(Clock.us 100) () in
   let f2 = Flight.create world ~at:1 ~flight:2 ~capacity:6 ~service_time:(Clock.us 100) () in
@@ -256,7 +257,7 @@ let run_itinerary (params : Scenario.params) =
       [
         ("booked", booked);
         ("outcomes", List.length !outcomes);
-        ("events", Engine.events_executed (Runtime.engine world));
+        ("events", Runtime.events_executed world);
       ];
   }
 
@@ -288,7 +289,7 @@ let run_replica ~replicas:n (params : Scenario.params) =
   let world =
     Runtime.create_world ~seed:params.seed
       ~topology:(Topology.full_mesh ~n:(n + 1) profile.Profile.link)
-      ~config ()
+      ~config ~shards:params.shards ~parallel:params.parallel ()
   in
   let nodes = List.init n Fun.id in
   let ports =
@@ -299,7 +300,7 @@ let run_replica ~replicas:n (params : Scenario.params) =
   let written = ref 0 in
   let gap = Int.max (Clock.ms 2) (params.horizon / Int.max 1 params.workload) in
   Chaos.driver world ~at:n ~name:"check_replica_driver" (fun ctx ->
-      let rng = Rng.split (Runtime.world_rng world) in
+      let rng = Rng.split (Runtime.ctx_rng ctx) in
       Runtime.sleep ctx (Clock.ms 100);
       for i = 1 to params.workload do
         let key = Printf.sprintf "key%04d" i in
@@ -365,7 +366,7 @@ let run_replica ~replicas:n (params : Scenario.params) =
         ("sync_msgs", sync_msgs);
         ("sync_bytes", sync_bytes);
         ("malformed", metric Replica.metric_malformed);
-        ("events", Engine.events_executed (Runtime.engine world));
+        ("events", Runtime.events_executed world);
       ];
   }
 
@@ -488,7 +489,7 @@ let install_clients world ~def_name ~at ~ports ~keys ~write_pct ~use_snapshots ~
         (fun ctx args ->
           match args with
           | [ Value.Int idx; Value.Int count ] ->
-              let rng = Rng.split (Runtime.world_rng world) in
+              let rng = Rng.split (Runtime.ctx_rng ctx) in
               let gap = Int.max (Clock.ms 10) (horizon / Int.max 1 count) in
               run_client ctx ~counts ~rng ~ports ~keys ~write_pct ~use_snapshots ~idx ~count
                 ~gap
@@ -558,7 +559,7 @@ let scd_outcome ~params ~world ~object_def ~client_def ~counts ~issued =
         ("scd_msgs", metric Scd.metric_msgs);
         ("scd_sets", metric Scd.metric_sets);
         ("malformed", metric Scd.metric_malformed + metric Register.metric_malformed);
-        ("events", Engine.events_executed (Runtime.engine world));
+        ("events", Runtime.events_executed world);
       ];
   }
 
@@ -572,7 +573,7 @@ let run_register ~stale_reads (params : Scenario.params) =
   let world =
     Runtime.create_world ~seed:params.seed
       ~topology:(Topology.full_mesh ~n:(register_members + 1) profile.Profile.link)
-      ~config ()
+      ~config ~shards:params.shards ~parallel:params.parallel ()
   in
   let nodes = List.init register_members Fun.id in
   let ports =
@@ -623,7 +624,7 @@ let run_snapshot (params : Scenario.params) =
   let world =
     Runtime.create_world ~seed:params.seed
       ~topology:(Topology.full_mesh ~n:(snapshot_members + 1) profile.Profile.link)
-      ~config ()
+      ~config ~shards:params.shards ~parallel:params.parallel ()
   in
   let nodes = List.init snapshot_members Fun.id in
   let ports =

@@ -14,7 +14,8 @@ type t = {
   wall_s : float;
 }
 
-let run ?horizon ?workload ?progress scenario ~profiles ~seed_base ~seeds =
+let run ?horizon ?workload ?(shards = 1) ?(parallel = false) ?progress scenario
+    ~profiles ~seed_base ~seeds =
   let started = Unix.gettimeofday () in
   let total = List.length profiles * seeds in
   let done_ = ref 0 in
@@ -22,7 +23,9 @@ let run ?horizon ?workload ?progress scenario ~profiles ~seed_base ~seeds =
   List.iter
     (fun profile ->
       for seed = seed_base to seed_base + seeds - 1 do
-        let outcome = Scenario.execute scenario ~seed ~profile ?horizon ?workload () in
+        let outcome =
+          Scenario.execute scenario ~seed ~profile ?horizon ?workload ~shards ~parallel ()
+        in
         (match Scenario.fail_reason outcome with
         | None -> ()
         | Some reason -> failures := { profile = profile.Profile.name; seed; reason } :: !failures);

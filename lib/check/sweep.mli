@@ -24,6 +24,8 @@ type t = {
 val run :
   ?horizon:Dcp_sim.Clock.time ->
   ?workload:int ->
+  ?shards:int ->
+  ?parallel:bool ->
   ?progress:(done_:int -> total:int -> unit) ->
   Scenario.t ->
   profiles:Profile.t list ->

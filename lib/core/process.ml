@@ -11,11 +11,18 @@ type t = {
 
 type _ Effect.t += Suspend : (('a -> unit) -> unit) -> 'a Effect.t
 
-let next_pid = ref 0
+(* Pids are unique across the world but their allocation order carries no
+   meaning (they appear only in log lines and accessors, never in message
+   bytes), so a cross-domain counter is safe here. *)
+let next_pid = Dcp_sim.Exec.counter 0
 
-let current : t option ref = ref None
+(* The current-process register is per-domain: each shard's engine resumes
+   its own fibers, and shards must not observe each other's scheduler
+   state. *)
+let current : t option Dcp_sim.Exec.domain_local =
+  Dcp_sim.Exec.domain_local (fun () -> None)
 
-let self () = !current
+let self () = Dcp_sim.Exec.local_get current
 
 let pid t = t.pid
 let name t = t.name
@@ -29,13 +36,12 @@ let kill t = if alive t then t.state <- Dead
    current process afterwards — resumes can nest (an unlock in process A can
    synchronously resume process B). *)
 let with_current p f =
-  let previous = !current in
-  current := Some p;
-  Fun.protect ~finally:(fun () -> current := previous) f
+  let previous = Dcp_sim.Exec.local_get current in
+  Dcp_sim.Exec.local_set current (Some p);
+  Fun.protect ~finally:(fun () -> Dcp_sim.Exec.local_set current previous) f
 
 let spawn engine ~name body =
-  let p = { pid = !next_pid; name; state = Created; failure = None } in
-  incr next_pid;
+  let p = { pid = Dcp_sim.Exec.fetch_incr next_pid; name; state = Created; failure = None } in
   let handler : (unit, unit) Effect.Deep.handler =
     {
       retc = (fun () -> if p.state <> Dead then p.state <- Finished);

@@ -19,7 +19,20 @@
       guardians whose definition supplies a [recover] procedure come back
       when the node restarts, with their stable store recovered and their
       port names intact.  Guardians without one stay dead — the paper's
-      "forget rather than resume" choice for transaction processes. *)
+      "forget rather than resume" choice for transaction processes.
+
+    {b Sharding.}  A world may be partitioned into [shards] shards, each
+    owning a complete execution stack (engine, network, metrics, RNG
+    streams) and a subset of the nodes (node [i] of the topology lives on
+    shard [i mod shards]; guardians inherit their home node's shard for
+    life).  Intra-shard messages are delivered locally with no
+    synchronization; cross-shard messages are simulated on the source
+    shard's network and buffered into per-(src,dst) outboxes, exchanged
+    only at epoch barriers and injected into the destination engine in
+    canonical order (source shard ascending, then send order).  Execution
+    is bit-identical for a fixed (seed, shards) whether the shards run
+    sequentially or on [shards] domains ([parallel:true]); [shards = 1]
+    reproduces the unsharded runtime exactly. *)
 
 open Dcp_wire
 module Clock = Dcp_sim.Clock
@@ -59,18 +72,68 @@ type config = {
 val default_config : config
 
 val create_world :
-  seed:int -> topology:Dcp_net.Topology.t -> ?config:config -> unit -> world
+  seed:int ->
+  topology:Dcp_net.Topology.t ->
+  ?config:config ->
+  ?shards:int ->
+  ?epoch:Clock.time ->
+  ?parallel:bool ->
+  unit ->
+  world
+(** [shards] (default 1) partitions the world; [epoch] (default 1ms) is the
+    barrier spacing for cross-shard exchange; [parallel] (default false)
+    runs each epoch on [shards] domains.  The trace is identical for a
+    fixed (seed, shards) regardless of [parallel].
+    @raise Invalid_argument if [shards < 1] or [epoch <= 0]. *)
 
 val engine : world -> Dcp_sim.Engine.t
+(** Shard 0's engine.  With [shards = 1] (the default) this is the world's
+    only engine and behaves exactly as before sharding.  Multi-shard
+    harness code should prefer the aggregates ({!events_executed},
+    {!network_stats}) and {!schedule_at}. *)
+
 val network : world -> Dcp_net.Network.t
+(** Shard 0's network instance (all shards share the topology; loss/delay
+    profile knobs on any instance affect only traffic simulated there). *)
+
 val now : world -> Clock.time
+(** Shard 0's clock.  At epoch barriers all shard clocks agree. *)
+
 val run : world -> unit
 val run_for : world -> Clock.time -> unit
 val metrics : world -> Dcp_sim.Metrics.registry
+(** With [shards = 1], the live registry.  Otherwise a merged snapshot of
+    the per-shard registries (counters sum, gauges max, histograms add);
+    reading it is cheap but not free — hot code should hold a ctx and use
+    {!ctx_metrics}. *)
+
 val trace : world -> Dcp_sim.Trace.t
+(** Shard 0's trace. *)
+
 val registry : world -> Transmit.registry
 val world_rng : world -> Dcp_rng.Rng.t
-(** A dedicated stream for workload generators, split from the world seed. *)
+(** A dedicated stream for workload generators, split from the world seed.
+    In a sharded world this is shard 0's stream; in-model code should draw
+    from {!ctx_rng} so each shard consumes its own stream. *)
+
+val shard_count : world -> int
+val epoch_length : world -> Clock.time
+val node_shard : world -> node_id -> int
+(** Which shard hosts a node: [i mod shards] for the topology's [i]-th
+    node. @raise Invalid_argument on unknown node. *)
+
+val events_executed : world -> int
+(** Total engine events executed, summed across shards. *)
+
+val network_stats : world -> Dcp_net.Network.stats
+(** Network counters summed across shards. *)
+
+val schedule_at : world -> node:node_id -> at:Clock.time -> (unit -> unit) -> unit
+(** Host-side scheduling pinned to the shard owning [node]: the callback
+    runs on that shard's engine, so it may touch the node (crash it,
+    restart it, read its state) even in a parallel run.  Fault injectors
+    and workload drivers targeting a node must use this rather than
+    scheduling on {!engine}. @raise Invalid_argument on unknown node. *)
 
 val register_def : world -> def -> unit
 (** Add a guardian definition to the system library (compile-time library of
@@ -125,6 +188,26 @@ val ctx_world : ctx -> world
 val ctx_guardian : ctx -> guardian
 val ctx_node : ctx -> node_id
 val ctx_now : ctx -> Clock.time
+
+val ctx_metrics : ctx -> Dcp_sim.Metrics.registry
+(** This guardian's shard's live registry.  Primitives must record their
+    counters here (not through {!metrics}), keeping the instrumented path
+    shard-local. *)
+
+val ctx_rng : ctx -> Dcp_rng.Rng.t
+(** This guardian's shard's workload stream.  Equals {!world_rng} when
+    [shards = 1]. *)
+
+val ctx_shards : ctx -> int
+(** [shard_count (ctx_world c)], for primitives that keep a legacy global
+    id scheme at [1] and a sharded one above. *)
+
+val ctx_mint_id : ctx -> int
+(** A fresh id unique across the world and deterministic per
+    (seed, shards): minted from a per-shard strided counter (shard k mints
+    k, k+N, k+2N, …).  For request/channel ids that end up inside message
+    bytes — a cross-domain atomic counter would break sequential/parallel
+    bit-identity. *)
 
 exception Send_failed of string
 (** Raised by {!send} only for sender-side errors: the value failed to

@@ -53,6 +53,7 @@ let rules =
     ("mutable-payload", Transmittability);
     ("wall-clock", Determinism);
     ("hashtbl-order", Determinism);
+    ("domain-primitives", Determinism);
     ("poly-compare", Hygiene);
     ("obj-magic", Hygiene);
     ("mli-missing", Hygiene);

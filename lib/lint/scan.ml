@@ -34,6 +34,14 @@ let is_unordered (m, f) =
   (match m with "Hashtbl" | "MoreLabels" | "Store" | "Pair_tbl" -> true | _ -> false)
   && match f with "fold" | "iter" | "to_seq" | "to_seq_keys" | "to_seq_values" -> true | _ -> false
 
+(* Domain-level concurrency primitives.  The sharded runtime's determinism
+   argument rests on single-writer shards whose only synchronization is the
+   epoch-barrier exchange inside lib/sim/exec.ml; any other use of these
+   modules creates cross-domain state the argument cannot see. *)
+let domain_primitive_modules = [ "Domain"; "Atomic"; "Mutex"; "Condition" ]
+
+let shard_runtime_file = "lib/sim/exec.ml"
+
 let wall_clock_idents =
   [
     ("Unix", "gettimeofday");
@@ -100,6 +108,21 @@ let check_lid ctx (lid : Longident.t Location.loc) =
   then
     report ctx ~loc ~rule:"obj-magic" ~token:(String.concat "." comps)
       (Printf.sprintf "%s defeats the type system and the wire discipline" (String.concat "." comps));
+  (if not (String.equal ctx.file shard_runtime_file) then
+     (* module position only (there must be a component after it), with an
+        optional [Stdlib.] prefix *)
+     let in_module_position =
+       match comps with
+       | "Stdlib" :: head :: _ :: _ | head :: _ :: _ -> List.mem head domain_primitive_modules
+       | _ -> false
+     in
+     if in_module_position then
+       report ctx ~loc ~rule:"domain-primitives" ~token:(String.concat "." comps)
+         (Printf.sprintf
+            "%s is a domain-level concurrency primitive; only the shard runtime \
+             (lib/sim/exec.ml) may synchronize domains — shard state is single-writer \
+             and crosses boundaries only at epoch barriers"
+            (String.concat "." comps)));
   if List.mem pair wall_clock_idents then
     report ctx ~loc ~rule:"wall-clock" ~token:(String.concat "." comps)
       (Printf.sprintf

@@ -119,29 +119,49 @@ type diff = {
   max_claimed : stamp option;  (** largest stamp the digest asserted *)
 }
 
+(* The max_claimed observation rides the merge walk (one pass, not a
+   separate fold over [claimed]), and equal-key/equal-stamp runs — the
+   common case between converged replicas — fall through on physical
+   equality before any comparison work.  Accumulation is plain cons +
+   [List.rev]: an earlier variant kept reusable key arrays as a
+   caller-owned scratch, but the write barrier on a long-lived array plus
+   rebuilding the result lists measured ~40% slower than minor-heap cons
+   on the 1k-entry bench row, so the scratch was dropped. *)
 let diff ~claimed ~held =
-  let max_claimed =
-    List.fold_left
-      (fun acc (_, stamp) ->
-        match acc with
-        | None -> Some stamp
-        | Some best -> if stamp_compare stamp best > 0 then Some stamp else acc)
-      None claimed
+  let have_max = ref false and max_c = ref 0 and max_o = ref 0 in
+  (* Called exactly when the head of [claimed] is consumed, so every
+     claimed entry is observed once. *)
+  let observe (c, o) =
+    if (not !have_max) || c > !max_c || (c = !max_c && o > !max_o) then begin
+      have_max := true;
+      max_c := c;
+      max_o := o
+    end
   in
   let rec walk claimed held pulls pushes =
     match (claimed, held) with
     | [], [] -> (List.rev pulls, List.rev pushes)
     | [], (key, _) :: held -> walk [] held pulls (key :: pushes)
-    | (key, _) :: claimed, [] -> walk claimed [] (key :: pulls) pushes
+    | (key, stamp) :: claimed, [] ->
+        observe stamp;
+        walk claimed [] (key :: pulls) pushes
     | (ckey, cstamp) :: crest, (hkey, hstamp) :: hrest ->
-        let c = String.compare ckey hkey in
-        if c < 0 then walk crest held (ckey :: pulls) pushes
+        let c = if ckey == hkey then 0 else String.compare ckey hkey in
+        if c < 0 then begin
+          observe cstamp;
+          walk crest held (ckey :: pulls) pushes
+        end
         else if c > 0 then walk claimed hrest pulls (hkey :: pushes)
-        else
-          let cmp = stamp_compare cstamp hstamp in
-          if cmp > 0 then walk crest hrest (ckey :: pulls) pushes
-          else if cmp < 0 then walk crest hrest pulls (hkey :: pushes)
-          else walk crest hrest pulls pushes
+        else begin
+          observe cstamp;
+          if cstamp == hstamp then walk crest hrest pulls pushes
+          else
+            let cc, co = cstamp and hc, ho = hstamp in
+            let cmp = if cc <> hc then Int.compare cc hc else Int.compare co ho in
+            if cmp > 0 then walk crest hrest (ckey :: pulls) pushes
+            else if cmp < 0 then walk crest hrest pulls (hkey :: pushes)
+            else walk crest hrest pulls pushes
+        end
   in
   let pulls, pushes = walk claimed held [] [] in
-  { pulls; pushes; max_claimed }
+  { pulls; pushes; max_claimed = (if !have_max then Some (!max_c, !max_o) else None) }

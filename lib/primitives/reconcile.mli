@@ -88,5 +88,8 @@ val diff : claimed:(string * stamp) list -> held:(string * stamp) list -> diff
 (** Merge-walk of two key-sorted entry lists covering the same window:
     [pulls] are keys the sender holds newer or the receiver lacks; [pushes]
     are keys the receiver holds newer or the sender lacks.  [max_claimed]
-    feeds Lamport-clock observation so a rejoined replica cannot issue
-    writes that lose to stamps it has been told about. *)
+    feeds Lamport-clock observation (tracked inside the same single pass)
+    so a rejoined replica cannot issue writes that lose to stamps it has
+    been told about.  One pass, O(|claimed| + |held|), with a physical-
+    equality fast path through equal-key/equal-stamp runs — the common
+    case between converged replicas. *)

@@ -254,7 +254,7 @@ let make_state ctx ~scd ~table ~stale_reads =
     table;
     stale_reads;
     pending = Hashtbl.create 16;
-    malformed = Metrics.counter (Runtime.metrics (Runtime.ctx_world ctx)) metric_malformed;
+    malformed = Metrics.counter (Runtime.ctx_metrics ctx) metric_malformed;
   }
 
 (* Before the bootstrap introduces the group there is no Scd yet: park on

@@ -52,7 +52,7 @@ type meters = {
 }
 
 let meters_of ctx =
-  let reg = Runtime.metrics (Runtime.ctx_world ctx) in
+  let reg = Runtime.ctx_metrics ctx in
   {
     malformed = Metrics.counter reg metric_malformed;
     sync_msgs = Metrics.counter reg metric_sync_msgs;
@@ -442,7 +442,7 @@ let make_state ctx ~config ~peers =
     clock = 0;
     peers;
     cursor = "";
-    rng = Rng.split (Runtime.world_rng (Runtime.ctx_world ctx));
+    rng = Rng.split (Runtime.ctx_rng ctx);
     m = meters_of ctx;
   }
 

@@ -52,7 +52,7 @@ type meters = {
 }
 
 let meters_of ctx =
-  let reg = Runtime.metrics (Runtime.ctx_world ctx) in
+  let reg = Runtime.ctx_metrics ctx in
   {
     msgs = Metrics.counter reg metric_msgs;
     statuses = Metrics.counter reg metric_statuses;
@@ -386,7 +386,7 @@ let make ctx ~config ~members ~self =
     seq = 0;
     frontier = 0;
     delivered = Queue.create ();
-    rng = Rng.split (Runtime.world_rng (Runtime.ctx_world ctx));
+    rng = Rng.split (Runtime.ctx_rng ctx);
     m = meters_of ctx;
   }
 

@@ -140,7 +140,7 @@ let make_state ctx ~scd ~table =
     table;
     pending = Hashtbl.create 16;
     malformed =
-      Metrics.counter (Runtime.metrics (Runtime.ctx_world ctx)) Register.metric_malformed;
+      Metrics.counter (Runtime.ctx_metrics ctx) Register.metric_malformed;
   }
 
 let await_members ctx ~config =

@@ -6,12 +6,17 @@ module Store = Dcp_stable.Store
 module Clock = Dcp_sim.Clock
 
 (* Request ids for protocol messages live in their own range so they never
-   collide with Rpc's counter or the bank's derived ids. *)
+   collide with Rpc's counter or the bank's derived ids.  Like Rpc's ids
+   they are encoded into message bytes, so a sharded world mints them from
+   the per-shard deterministic counter (offset into the same range). *)
 let next_rid = ref 0
 
-let fresh_rid () =
-  incr next_rid;
-  2_000_000_000 + !next_rid
+let fresh_rid ctx =
+  if Runtime.ctx_shards ctx = 1 then begin
+    incr next_rid;
+    2_000_000_000 + !next_rid
+  end
+  else 2_000_000_000 + Runtime.ctx_mint_id ctx
 
 (* ------------------------------------------------------------------ *)
 (* Participant                                                          *)
@@ -110,7 +115,7 @@ let announce_round ctx ~reply_port ~txid ~command ~ports ~timeout =
   let pending = Hashtbl.create 8 in
   List.iter
     (fun port ->
-      let rid = fresh_rid () in
+      let rid = fresh_rid ctx in
       Hashtbl.replace pending rid port;
       Runtime.send ctx ~to_:port ~reply_to:(Port.name reply_port) command
         [ Value.int rid; Value.int txid ])
@@ -159,7 +164,7 @@ let coordinate ctx ~txid ~participants ?(prepare_timeout = Clock.s 1) ?(ack_time
   let pending = Hashtbl.create 8 in
   List.iter
     (fun (port, payload) ->
-      let rid = fresh_rid () in
+      let rid = fresh_rid ctx in
       Hashtbl.replace pending rid port;
       Runtime.send ctx ~to_:port ~reply_to:(Port.name reply_port) "prepare"
         [ Value.int rid; Value.int txid; payload ])

@@ -75,3 +75,5 @@ let run_until t limit =
 
 let run_for t d = run_until t (Clock.add t.clock d)
 let events_executed t = t.executed
+
+let next_time t = Option.map (fun ev -> ev.time) (Heap.peek t.queue)

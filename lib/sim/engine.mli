@@ -45,3 +45,8 @@ val run_for : t -> Clock.time -> unit
 
 val events_executed : t -> int
 (** Total events executed so far (for sanity checks and benchmarks). *)
+
+val next_time : t -> Clock.time option
+(** Time of the earliest queued timer, cancelled ones included — a lower
+    bound on when the next live event fires.  Lets a sharded driver skip
+    empty epoch windows instead of stepping through them. *)

@@ -1,8 +1,10 @@
-(** Array-backed binary min-heap, parameterised by an explicit comparison.
+(** Array-backed 4-ary min-heap, parameterised by an explicit comparison.
 
     Used as the event queue of the simulation {!Engine}; also exposed for
-    tests and benchmarks.  Not thread safe (the whole simulator is
-    single-threaded by design). *)
+    tests and benchmarks.  Sifts use swap-free hole insertion and the
+    4-ary layout halves tree depth, which matters because every shard of
+    a world pays a push+pop per event.  Not thread safe (each heap is
+    owned by exactly one shard, which runs on one domain). *)
 
 type 'a t
 

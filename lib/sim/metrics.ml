@@ -119,6 +119,38 @@ let counters r = List.rev_map (fun name -> (name, (Hashtbl.find r.counter_tbl na
 let gauges r = List.rev_map (fun name -> (name, (Hashtbl.find r.gauge_tbl name).g)) r.gauge_order
 let histograms r = List.rev_map (fun name -> (name, Hashtbl.find r.hist_tbl name)) r.hist_order
 
+(* Merge shard registries into one snapshot: counters sum, gauges take the
+   maximum (the only multi-shard gauges are high-water marks), histograms
+   add bucket-wise.  Instruments keep first-seen order across the input
+   registries, so a merged report is stable for a fixed shard layout. *)
+let merge rs =
+  let out = registry () in
+  List.iter
+    (fun r ->
+      List.iter (fun (name, v) -> add (counter out name) v) (counters r);
+      List.iter
+        (fun (name, v) ->
+          let g = gauge out name in
+          if v > g.g then g.g <- v)
+        (gauges r);
+      List.iter
+        (fun (name, h) ->
+          let m = histogram out name in
+          let blen = Array.length h.buckets in
+          if blen > Array.length m.buckets then begin
+            let buckets = Array.make blen 0 in
+            Array.blit m.buckets 0 buckets 0 (Array.length m.buckets);
+            m.buckets <- buckets
+          end;
+          Array.iteri (fun i c -> m.buckets.(i) <- m.buckets.(i) + c) h.buckets;
+          m.n <- m.n + h.n;
+          m.sum <- m.sum +. h.sum;
+          if h.minimum < m.minimum then m.minimum <- h.minimum;
+          if h.maximum > m.maximum then m.maximum <- h.maximum)
+        (histograms r))
+    rs;
+  out
+
 let pp_report fmt r =
   List.iter (fun (name, v) -> Format.fprintf fmt "counter %-40s %d@." name v) (counters r);
   List.iter (fun (name, v) -> Format.fprintf fmt "gauge   %-40s %.3f@." name v) (gauges r);

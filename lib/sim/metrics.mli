@@ -50,6 +50,12 @@ val quantile : histogram -> float -> float
 
 val hist_sum : histogram -> float
 
+val merge : registry list -> registry
+(** Merge registries into a fresh snapshot: counters sum, gauges keep the
+    maximum, histograms add bucket-wise.  Used by the sharded runtime to
+    present one world-level view over per-shard registries; mutating the
+    result does not touch the inputs. *)
+
 (** {1 Reporting} *)
 
 val counters : registry -> (string * int) list

@@ -1,0 +1,9 @@
+(* Lint fixture: domain-level concurrency primitives outside the shard
+   runtime break the single-writer determinism argument. *)
+let m = Mutex.create ()
+
+let counter : int Atomic.t = Atomic.make 0
+
+let fork () = Domain.spawn (fun () -> Atomic.incr counter)
+
+let wait c = Condition.wait c m

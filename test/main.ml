@@ -32,6 +32,7 @@ let () =
       ("chaos", Test_chaos.tests);
       ("fuzz", Test_fuzz.tests);
       ("check", Test_check.tests);
+      ("shard", Test_shard.tests);
       ("lint", Test_lint.tests);
       ("misc", Test_misc.tests);
     ]

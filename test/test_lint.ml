@@ -61,6 +61,21 @@ let test_poly_compare () =
 let test_obj_magic () =
   check_fires "bad_obj_magic.ml" ~as_path:"lib/wire/bad_obj_magic.ml" ~rule:"obj-magic" ()
 
+let test_domain_primitives () =
+  let findings =
+    scan_fixture ~as_path:"lib/core/bad_domain_primitives.ml" "bad_domain_primitives.ml"
+  in
+  let hits = List.filter (fun f -> String.equal f.Finding.rule "domain-primitives") findings in
+  Alcotest.(check bool)
+    (Printf.sprintf "Mutex/Atomic/Domain/Condition all fire (got %d)" (List.length hits))
+    true
+    (List.length hits >= 4);
+  (* The shard runtime itself is the one sanctioned home for these. *)
+  let exempt = scan_fixture ~as_path:"lib/sim/exec.ml" "bad_domain_primitives.ml" in
+  Alcotest.(check (list string))
+    "lib/sim/exec.ml is exempt" []
+    (rules_of (List.filter (fun f -> String.equal f.Finding.rule "domain-primitives") exempt))
+
 let test_mutable_payload () =
   let findings =
     scan_fixture ~as_path:"lib/office/bad_mutable_payload.ml" "bad_mutable_payload.ml"
@@ -210,6 +225,7 @@ let tests =
     Alcotest.test_case "hashtbl order fixture" `Quick test_hashtbl_order;
     Alcotest.test_case "poly compare fixture" `Quick test_poly_compare;
     Alcotest.test_case "obj magic fixture" `Quick test_obj_magic;
+    Alcotest.test_case "domain primitives fixture" `Quick test_domain_primitives;
     Alcotest.test_case "mutable payload fixture" `Quick test_mutable_payload;
     Alcotest.test_case "parse error fixture" `Quick test_parse_error;
     Alcotest.test_case "missing mli" `Quick test_missing_mli;
