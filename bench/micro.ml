@@ -111,6 +111,42 @@ let test_wal_replay_1k =
           let n = ref 0 in
           Wal.replay wal (fun _ _ -> incr n)))
 
+(* Recovery of a checkpointed store: crash + rebuild from the newest
+   checkpoint plus the log suffix.  The 1k and 10k rows must track each
+   other — recovery is O(suffix), and the suffix length is bounded by
+   [checkpoint_every], not by history. *)
+let recover_bench entries =
+  let store = Dcp_stable.Store.create ~checkpoint_every:100 () in
+  let () =
+    for i = 1 to entries do
+      Dcp_stable.Store.set store ~key:(string_of_int (i mod 250)) (string_of_int i)
+    done;
+    Dcp_stable.Store.flush store
+  in
+  fun () ->
+    Dcp_stable.Store.crash store ();
+    ignore (Dcp_stable.Store.recover store)
+
+let test_wal_recover_1k =
+  Test.make ~name:"wal.recover (1k entries, checkpointed)" (Staged.stage (recover_bench 1_000))
+
+let test_wal_recover_10k =
+  Test.make ~name:"wal.recover (10k entries, checkpointed)" (Staged.stage (recover_bench 10_000))
+
+(* Framing a 250-key table as a CRC'd checkpoint blob plus compacting the
+   log prefix — the cost a guardian pays every [checkpoint_every]
+   mutations. *)
+let test_checkpoint_write =
+  Test.make ~name:"checkpoint.write (250 keys)"
+    (Staged.stage
+       (let store = Dcp_stable.Store.create () in
+        let () =
+          for i = 1 to 1_000 do
+            Dcp_stable.Store.set store ~key:(string_of_int (i mod 250)) (string_of_int i)
+          done
+        in
+        fun () -> Dcp_stable.Store.checkpoint store))
+
 let test_token =
   Test.make ~name:"token seal+unseal"
     (Staged.stage (fun () ->
@@ -269,6 +305,9 @@ let all_tests =
     test_heap_1k;
     test_wal_append;
     test_wal_replay_1k;
+    test_wal_recover_1k;
+    test_wal_recover_10k;
+    test_checkpoint_write;
     test_token;
     test_rng;
     test_reconcile_diff;

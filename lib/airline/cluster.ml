@@ -18,6 +18,8 @@ type params = {
   inter_node : Link.t;
   centralized : bool;
   processors_per_node : int;
+  disk : Dcp_stable.Disk.spec option;
+  checkpoint_every : int option;
   seed : int;
 }
 
@@ -35,6 +37,8 @@ let default_params =
     inter_node = Link.wan;
     centralized = false;
     processors_per_node = 8;
+    disk = None;
+    checkpoint_every = None;
     seed = 7;
   }
 
@@ -54,7 +58,14 @@ let flights_of_region p r =
 let build p =
   if p.regions <= 0 then invalid_arg "Cluster.build: need at least one region";
   let topology = Topology.full_mesh ~n:p.regions p.inter_node in
-  let config = { Runtime.default_config with processors_per_node = p.processors_per_node } in
+  let config =
+    {
+      Runtime.default_config with
+      processors_per_node = p.processors_per_node;
+      disk = p.disk;
+      checkpoint_every = p.checkpoint_every;
+    }
+  in
   let world = Runtime.create_world ~seed:p.seed ~topology ~config () in
   Dcp_core.Primordial.install world;
   let region_ids = List.init p.regions Fun.id in

@@ -28,6 +28,10 @@ type params = {
   inter_node : Dcp_net.Link.t;  (** link between airline nodes *)
   centralized : bool;
   processors_per_node : int;  (** CPUs per node ({!Dcp_core.Runtime.compute}) *)
+  disk : Dcp_stable.Disk.spec option;
+      (** disk-fault injector attached to every guardian store; [None] =
+          perfect disks *)
+  checkpoint_every : int option;  (** WAL auto-checkpoint period, in appends *)
   seed : int;
 }
 

@@ -11,15 +11,24 @@ let driver world ~at ~name body =
   ignore (Runtime.create_guardian world ~at ~def_name:name ~args:[])
 
 (* Schedule random crash/restart cycles on the given nodes over a horizon;
-   outages last [crash_outage]; never crash two nodes at once (the
-   invariants hold even for correlated failures, but single-node churn
-   exercises the recovery paths harder per unit of virtual time). *)
+   outages last [crash_outage].  How many nodes may be down at once is the
+   profile's [max_concurrent_crashes]: at the default 1 the condition is
+   exactly the legacy "victim must be up" check (bit-for-bit, draw-for-draw
+   — historical fingerprints pin it), while larger bounds crash into
+   existing outages until the bound is met, so recovery and anti-entropy
+   run while peers are still dark. *)
 let schedule_crashes world ~rng ~profile ~nodes ~horizon =
   match (profile.Profile.crash_every, nodes) with
   | None, _ | _, [] -> ()
   | Some every, _ :: _ ->
       let outage = profile.Profile.crash_outage in
       let jitter = Int.max 1 (every / 2) in
+      let may_crash victim =
+        Runtime.node_up world victim
+        && (profile.Profile.max_concurrent_crashes <= 1
+           || List.length (List.filter (fun n -> not (Runtime.node_up world n)) nodes)
+              < profile.Profile.max_concurrent_crashes)
+      in
       if Runtime.shard_count world = 1 then begin
         (* Unsharded path, kept verbatim: victims are drawn lazily at event
            time, which interleaves the rng with engine execution in a way
@@ -31,7 +40,7 @@ let schedule_crashes world ~rng ~profile ~nodes ~horizon =
             ignore
               (Engine.schedule engine ~at:jittered (fun () ->
                    let victim = Rng.choice_list rng nodes in
-                   if Runtime.node_up world victim then begin
+                   if may_crash victim then begin
                      Runtime.crash_node world victim;
                      ignore
                        (Engine.schedule_after engine ~delay:outage (fun () ->
@@ -69,7 +78,7 @@ let schedule_crashes world ~rng ~profile ~nodes ~horizon =
         List.iter
           (fun (at, victim) ->
             Runtime.schedule_at world ~node:victim ~at (fun () ->
-                if Runtime.node_up world victim then begin
+                if may_crash victim then begin
                   Runtime.crash_node world victim;
                   Runtime.schedule_at world ~node:victim ~at:(at + outage) (fun () ->
                       Runtime.restart_node world victim)

@@ -21,6 +21,8 @@ val schedule_crashes :
   unit
 (** Plan crash-restart cycles over [nodes] up to [horizon], following the
     profile's [crash_every]/[crash_outage] (no-op when the profile has no
-    crash schedule or [nodes] is empty).  At most one node is down at a
-    time, and a final sweep shortly after [horizon] restarts anything
-    still down, so quiescent-point oracles always see a live system. *)
+    crash schedule or [nodes] is empty).  The profile's
+    [max_concurrent_crashes] bounds how many nodes may be down at once
+    (the default 1 reproduces the legacy single-victim schedule exactly),
+    and a final sweep shortly after [horizon] restarts anything still
+    down, so quiescent-point oracles always see a live system. *)

@@ -38,6 +38,33 @@ let live_stores world ~def_name =
     Error (Printf.sprintf "a %s store is still crashed at check time" def_name)
   else Ok stores
 
+(* ---- stable storage ---- *)
+
+(* Runs over every guardian store in the world: the disk-fault plane
+   touches all of them, and a store whose recovered table no longer matches
+   replay of its own checkpoint + log is damage the application oracles
+   might not notice (e.g. a key no scenario invariant happens to read). *)
+let stable_durability =
+  {
+    name = "stable_durability";
+    check =
+      (fun world ->
+        List.fold_left
+          (fun acc g ->
+            let* () = acc in
+            let store = Runtime.guardian_store g in
+            if Store.is_crashed store then Ok ()  (* mid-outage: checked after restart *)
+            else
+              match Store.durability_check store with
+              | Ok () -> Ok ()
+              | Error reason ->
+                  Error
+                    (Printf.sprintf "guardian %d (%s): %s" (Runtime.guardian_id g)
+                       (Runtime.guardian_def_name g) reason))
+          (Ok ())
+          (Runtime.all_guardians world));
+  }
+
 (* ---- bank ---- *)
 
 type bank_transfer = {

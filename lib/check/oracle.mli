@@ -19,6 +19,15 @@ val check_all : t list -> Runtime.world -> (unit, string) result
 (** First failing oracle wins; its reason is prefixed with the oracle
     name. *)
 
+(** {1 Stable-storage oracles} *)
+
+val stable_durability : t
+(** Every live guardian store's in-memory table equals replay of its own
+    newest restorable checkpoint plus log suffix
+    ({!Dcp_stable.Store.durability_check}) — i.e. what a recovery at this
+    instant would rebuild.  Catches silent divergence the scenario-level
+    invariants might not read. *)
+
 (** {1 Bank oracles} *)
 
 (** One issued transfer, as the workload driver recorded it.  [observed]

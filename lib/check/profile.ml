@@ -1,11 +1,14 @@
 module Clock = Dcp_sim.Clock
 module Link = Dcp_net.Link
+module Disk = Dcp_stable.Disk
 
 type t = {
   name : string;
   link : Link.t;
   crash_every : Clock.time option;
   crash_outage : Clock.time;
+  max_concurrent_crashes : int;
+  disk : Disk.spec option;
 }
 
 let base_links =
@@ -20,14 +23,45 @@ let base_links =
     ("wan+lossy", { Link.wan with Link.loss = 0.05 });
   ]
 
-let calm name link = { name; link; crash_every = None; crash_outage = Clock.zero }
+let calm name link =
+  {
+    name;
+    link;
+    crash_every = None;
+    crash_outage = Clock.zero;
+    max_concurrent_crashes = 1;
+    disk = None;
+  }
 
 let churning name link =
-  { name = name ^ "+crash"; link; crash_every = Some (Clock.ms 700); crash_outage = Clock.ms 400 }
+  {
+    name = name ^ "+crash";
+    link;
+    crash_every = Some (Clock.ms 700);
+    crash_outage = Clock.ms 400;
+    max_concurrent_crashes = 1;
+    disk = None;
+  }
+
+(* The third fault-matrix axis: flaky disks under the crash schedule.  The
+   outage (1 s) deliberately exceeds the crash period (700 ms) so that with
+   two concurrent victims allowed, recovery from disk damage routinely runs
+   while a peer is still down — the overlapping-crash case the chaos
+   scheduler used to forbid. *)
+let diskful name link =
+  {
+    name = name ^ "+crash+disk";
+    link;
+    crash_every = Some (Clock.ms 700);
+    crash_outage = Clock.ms 1000;
+    max_concurrent_crashes = 2;
+    disk = Some Disk.flaky;
+  }
 
 let all =
   List.map (fun (name, link) -> calm name link) base_links
   @ List.map (fun (name, link) -> churning name link) base_links
+  @ List.map (fun (name, link) -> diskful name link) base_links
 
 let names = List.map (fun p -> p.name) all
 let find name = List.find_opt (fun p -> String.equal p.name name) all
@@ -50,11 +84,32 @@ let scale t ~intensity =
       | Some _ when intensity = 0.0 -> None
       | Some every -> Some (int_of_float (float_of_int every /. intensity))
     in
-    { t with link; crash_every }
+    let disk =
+      match t.disk with
+      | None -> None
+      | Some _ when intensity = 0.0 -> None
+      | Some d ->
+          Some
+            {
+              d with
+              Disk.stall_p = d.Disk.stall_p *. intensity;
+              tear_p = d.Disk.tear_p *. intensity;
+              drop_p = d.Disk.drop_p *. intensity;
+              rot_p = d.Disk.rot_p *. intensity;
+            }
+    in
+    { t with link; crash_every; disk }
 
 let pp ppf t =
-  Format.fprintf ppf "%s (loss %.3f, dup %.3f, corrupt %.3f%s)" t.name t.link.Link.loss
+  Format.fprintf ppf "%s (loss %.3f, dup %.3f, corrupt %.3f%s%s)" t.name t.link.Link.loss
     t.link.Link.duplicate t.link.Link.corrupt
     (match t.crash_every with
     | None -> ", no crashes"
-    | Some every -> Format.asprintf ", crash every ~%a for %a" Clock.pp every Clock.pp t.crash_outage)
+    | Some every ->
+        Format.asprintf ", crash every ~%a for %a%s" Clock.pp every Clock.pp t.crash_outage
+          (if t.max_concurrent_crashes > 1 then
+             Printf.sprintf ", up to %d down" t.max_concurrent_crashes
+           else ""))
+    (match t.disk with
+    | None -> ""
+    | Some d -> Format.asprintf ", disk %a" Disk.pp d)

@@ -15,11 +15,21 @@ type t = {
   crash_every : Clock.time option;
       (** mean gap between crash injections; [None] = no crashes *)
   crash_outage : Clock.time;  (** how long a crashed node stays down *)
+  max_concurrent_crashes : int;
+      (** how many nodes the scheduler may hold down at once.  [1] keeps
+          the legacy schedule draw-for-draw (a crash only targets an up
+          node); above 1 the scheduler crashes into existing outages until
+          the bound is reached, so recovery runs while peers are down. *)
+  disk : Dcp_stable.Disk.spec option;
+      (** the storage axis of the matrix: [None] = perfect disks, [Some]
+          attaches the fault injector to every guardian store. *)
 }
 
 val all : t list
 (** The full matrix: [perfect], [lan], [wan], [lossy], [wan+lossy] links,
-    each with and without a crash-restart schedule ([<link>+crash]). *)
+    each calm, with a crash-restart schedule ([<link>+crash]), and with
+    crashes plus flaky disks and overlapping outages
+    ([<link>+crash+disk]). *)
 
 val names : string list
 
@@ -28,8 +38,9 @@ val find : string -> t option
 
 val scale : t -> intensity:float -> t
 (** Shrinking knob: scale every fault probability (loss, duplication,
-    corruption) by [intensity] (clamped to [0,1]) and stretch the crash
-    period by [1/intensity]; [intensity = 0.] disables faults and crashes
+    corruption, and the disk's stall/tear/drop/rot) by [intensity] (clamped
+    to [0,1]) and stretch the crash period by [1/intensity];
+    [intensity = 0.] disables faults, crashes and the disk injector
     entirely.  [scale t ~intensity:1.] is [t]. *)
 
 val pp : Format.formatter -> t -> unit

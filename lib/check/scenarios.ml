@@ -18,6 +18,22 @@ module Rng = Dcp_rng.Rng
    pure function of the seed. *)
 let chaos_rng seed = Rng.create ~seed:(seed lxor 0x2545F4914F6CDD1D)
 
+(* Shared world config: the checker injects damage through the profile's
+   disk axis, never through the legacy crash_tear_p knob (the two would
+   double-count tears).  Checkpointing is only enabled alongside the disk
+   injector — on perfect disks it would change store internals without
+   changing behaviour, perturbing nothing but costing time. *)
+let checkpoint_every = 100
+
+let scenario_config (profile : Profile.t) =
+  {
+    Runtime.default_config with
+    crash_tear_p = 0.0;
+    disk = profile.Profile.disk;
+    checkpoint_every =
+      (if Option.is_none profile.Profile.disk then None else Some checkpoint_every);
+  }
+
 (* Aggregated across shards; for one shard these are exactly the single
    engine/network counters the historical fingerprints pinned. *)
 let world_fingerprint world extra =
@@ -30,6 +46,21 @@ let verdict_of oracles world =
   | Ok () -> Scenario.Pass
   | Error reason -> Scenario.Fail reason
 
+(* Disk-fault plane counters, appended to every scenario's stats: sweeps
+   under a [+disk] profile use them as evidence that damage actually
+   happened (a sweep that never salvaged or quarantined anything would
+   vacuously pass). *)
+let stable_stats world =
+  let metric name =
+    Dcp_sim.Metrics.count (Dcp_sim.Metrics.counter (Runtime.metrics world) name)
+  in
+  [
+    ("stable_salvaged", metric "stable.salvaged");
+    ("stable_quarantined", metric "stable.corrupt");
+    ("stable_ckpt_fallbacks", metric "stable.ckpt_fallback");
+    ("stable_dropped_unflushed", metric "stable.dropped_unflushed");
+  ]
+
 (* ---- bank: transfer sagas vs the sequential reference model ---- *)
 
 let bank_accounts prefix = List.init 3 (fun i -> (Printf.sprintf "%s%d" prefix i, 500))
@@ -41,7 +72,7 @@ let bank_initial =
 
 let run_bank ~model_skips (params : Scenario.params) =
   let profile = params.profile in
-  let config = { Runtime.default_config with crash_tear_p = 0.0 } in
+  let config = scenario_config profile in
   let world =
     Runtime.create_world ~seed:params.seed
       ~topology:(Topology.full_mesh ~n:4 profile.Profile.link)
@@ -104,6 +135,7 @@ let run_bank ~model_skips (params : Scenario.params) =
           Oracle.bank_quiescent;
           Oracle.bank_conservation ~expected_total:3000;
           Oracle.bank_model ~initial:bank_initial ~ledger ~model_skips ();
+          Oracle.stable_durability;
         ]
         world
   in
@@ -115,7 +147,8 @@ let run_bank ~model_skips (params : Scenario.params) =
         ("transfers_ok", ok);
         ("transfers_timeout", timeouts);
         ("events", Runtime.events_executed world);
-      ];
+      ]
+      @ stable_stats world;
   }
 
 let bank =
@@ -152,6 +185,9 @@ let run_airline (params : Scenario.params) =
       clerks_per_region = Int.max 1 params.workload;
       seed = params.seed;
       inter_node = profile.Profile.link;
+      disk = profile.Profile.disk;
+      checkpoint_every =
+        (if Option.is_none profile.Profile.disk then None else Some checkpoint_every);
       clerk =
         {
           Workload.default_config with
@@ -173,7 +209,10 @@ let run_airline (params : Scenario.params) =
   let report = Cluster.run cluster ~duration:(params.horizon + Clock.s 10) in
   let verdict =
     verdict_of
-      [ Oracle.airline_seat_ledger ~capacity:airline_capacity ~waitlist_capacity:airline_waitlist ]
+      [
+        Oracle.airline_seat_ledger ~capacity:airline_capacity ~waitlist_capacity:airline_waitlist;
+        Oracle.stable_durability;
+      ]
       world
   in
   {
@@ -188,7 +227,8 @@ let run_airline (params : Scenario.params) =
         ("requests_failed", report.Cluster.requests_failed);
         ("transactions_completed", report.Cluster.transactions_completed);
         ("events", Runtime.events_executed world);
-      ];
+      ]
+      @ stable_stats world;
   }
 
 let airline =
@@ -204,7 +244,7 @@ let airline =
 
 let run_itinerary (params : Scenario.params) =
   let profile = params.profile in
-  let config = { Runtime.default_config with crash_tear_p = 0.0 } in
+  let config = scenario_config profile in
   let world =
     Runtime.create_world ~seed:params.seed
       ~topology:(Topology.full_mesh ~n:4 profile.Profile.link)
@@ -249,7 +289,9 @@ let run_itinerary (params : Scenario.params) =
   let booked =
     List.length (List.filter (fun (_, o) -> String.equal o "booked") !outcomes)
   in
-  let verdict = verdict_of [ Oracle.itinerary_atomicity ~outcomes ] world in
+  let verdict =
+    verdict_of [ Oracle.itinerary_atomicity ~outcomes; Oracle.stable_durability ] world
+  in
   {
     Scenario.verdict;
     fingerprint = world_fingerprint world (Printf.sprintf " booked=%d" booked);
@@ -258,7 +300,8 @@ let run_itinerary (params : Scenario.params) =
         ("booked", booked);
         ("outcomes", List.length !outcomes);
         ("events", Runtime.events_executed world);
-      ];
+      ]
+      @ stable_stats world;
   }
 
 let itinerary =
@@ -285,7 +328,7 @@ let replica_budget = 2048
 
 let run_replica ~replicas:n (params : Scenario.params) =
   let profile = params.profile in
-  let config = { Runtime.default_config with crash_tear_p = 0.0 } in
+  let config = scenario_config profile in
   let world =
     Runtime.create_world ~seed:params.seed
       ~topology:(Topology.full_mesh ~n:(n + 1) profile.Profile.link)
@@ -350,7 +393,11 @@ let run_replica ~replicas:n (params : Scenario.params) =
     if !written = 0 then Scenario.Fail "no write was acknowledged"
     else
       verdict_of
-        [ Oracle.replica_convergence; Oracle.replica_sync_budget ~budget:replica_budget ]
+        [
+          Oracle.replica_convergence;
+          Oracle.replica_sync_budget ~budget:replica_budget;
+          Oracle.stable_durability;
+        ]
         world
   in
   {
@@ -367,7 +414,8 @@ let run_replica ~replicas:n (params : Scenario.params) =
         ("sync_bytes", sync_bytes);
         ("malformed", metric Replica.metric_malformed);
         ("events", Runtime.events_executed world);
-      ];
+      ]
+      @ stable_stats world;
   }
 
 let replica =
@@ -540,6 +588,7 @@ let scd_outcome ~params ~world ~object_def ~client_def ~counts ~issued =
         [
           Oracle.linearizable ~clients:client_def ();
           Oracle.table_convergence ~def_name:object_def;
+          Oracle.stable_durability;
         ]
         world
   in
@@ -560,7 +609,8 @@ let scd_outcome ~params ~world ~object_def ~client_def ~counts ~issued =
         ("scd_sets", metric Scd.metric_sets);
         ("malformed", metric Scd.metric_malformed + metric Register.metric_malformed);
         ("events", Runtime.events_executed world);
-      ];
+      ]
+      @ stable_stats world;
   }
 
 let register_members = 5
@@ -569,7 +619,7 @@ let register_client_count = 4
 
 let run_register ~stale_reads (params : Scenario.params) =
   let profile = params.profile in
-  let config = { Runtime.default_config with crash_tear_p = 0.0 } in
+  let config = scenario_config profile in
   let world =
     Runtime.create_world ~seed:params.seed
       ~topology:(Topology.full_mesh ~n:(register_members + 1) profile.Profile.link)
@@ -620,7 +670,7 @@ let snapshot_client_count = 3
 
 let run_snapshot (params : Scenario.params) =
   let profile = params.profile in
-  let config = { Runtime.default_config with crash_tear_p = 0.0 } in
+  let config = scenario_config profile in
   let world =
     Runtime.create_world ~seed:params.seed
       ~topology:(Topology.full_mesh ~n:(snapshot_members + 1) profile.Profile.link)

@@ -7,6 +7,7 @@ module Trace = Dcp_sim.Trace
 module Network = Dcp_net.Network
 module Topology = Dcp_net.Topology
 module Store = Dcp_stable.Store
+module Disk = Dcp_stable.Disk
 module Rng = Dcp_rng.Rng
 
 type node_id = int
@@ -18,6 +19,8 @@ type config = {
   crash_tear_p : float;
   default_port_capacity : int;
   processors_per_node : int;
+  disk : Disk.spec option;
+  checkpoint_every : int option;
 }
 
 let default_config =
@@ -28,6 +31,8 @@ let default_config =
     crash_tear_p = 0.3;
     default_port_capacity = 64;
     processors_per_node = 8;
+    disk = None;
+    checkpoint_every = None;
   }
 
 (* Metric handles resolved once at world creation so the per-message path
@@ -229,6 +234,11 @@ let find_guardians w ~def_name =
     Array.to_list w.shards
     |> List.concat_map of_shard
     |> List.sort (fun a b -> Int.compare a.gid b.gid)
+
+(* World-level view in creation (gid) order, like [find_guardians]. *)
+let all_guardians w =
+  Hashtbl.fold (fun _ node acc -> List.rev_append node.guardians acc) w.nodes []
+  |> List.sort (fun a b -> Int.compare a.gid b.gid)
 
 let node_up w node_id =
   match Hashtbl.find_opt w.nodes node_id with None -> false | Some n -> n.up
@@ -569,13 +579,32 @@ let create_guardian_at w node ~def ~args =
   let sh = node.shard in
   let gid = sh.snext_guardian_id in
   sh.snext_guardian_id <- gid + w.shard_count;
+  (* Field order matters for the system stream: the secret draw comes
+     first (as it always has), and the disk split happens only when a disk
+     spec is present — fault-free worlds consume exactly the legacy draw
+     sequence, keeping pinned fingerprints valid. *)
+  let secret = Rng.bits64 sh.ssys_rng in
+  let gstore =
+    match w.config.disk with
+    | None -> Store.create ?checkpoint_every:w.config.checkpoint_every ()
+    | Some spec ->
+        let store =
+          Store.create ~disk:(spec, Rng.split sh.ssys_rng)
+            ?checkpoint_every:w.config.checkpoint_every ()
+        in
+        (* A stall occupies the appending process for simulated time, like
+           any other blocking device wait. *)
+        Store.set_stall_handler store (fun stall_ms ->
+            Process.sleep sh.sengine (Clock.ms stall_ms));
+        store
+  in
   let g =
     {
       gid;
       gdef = def;
       home = node;
-      secret = Rng.bits64 sh.ssys_rng;
-      gstore = Store.create ();
+      secret;
+      gstore;
       galive = true;
       gports = [];
       gport_index = Hashtbl.create 8;
@@ -687,7 +716,27 @@ let restart_node w node_id =
             match g.gdef.recover with
             | None -> ()  (* forgotten, per §3.5 *)
             | Some recover_proc ->
-                let replayed = Store.recover g.gstore in
+                let report = Store.recover_report g.gstore in
+                let replayed = report.Store.replayed in
+                if
+                  report.Store.quarantined > 0 || report.Store.salvaged > 0
+                  || report.Store.checkpoint_fallbacks > 0
+                then begin
+                  let bump name n =
+                    if n > 0 then Metrics.add (Metrics.counter sh.smetrics name) n
+                  in
+                  bump "stable.corrupt" report.Store.quarantined;
+                  bump "stable.salvaged" report.Store.salvaged;
+                  bump "stable.ckpt_fallback" report.Store.checkpoint_fallbacks;
+                  stracef sh "stable"
+                    "guardian %s#%d recovery damage: %d quarantined, %d salvaged, %d checkpoint fallbacks"
+                    g.gdef.def_name g.gid report.Store.quarantined report.Store.salvaged
+                    report.Store.checkpoint_fallbacks
+                end;
+                if report.Store.dropped_unflushed > 0 then
+                  Metrics.add
+                    (Metrics.counter sh.smetrics "stable.dropped_unflushed")
+                    report.Store.dropped_unflushed;
                 (* Only the birth ports (declared in the guardian header)
                    survive recovery; runtime-minted ports — conversation
                    state, like Figure 5's transaction ports — are forgotten
@@ -735,6 +784,11 @@ let send c ~to_ ?reply_to command args =
     | Error reason -> raise (Send_failed reason));
     let msg = Message.make ?reply_to ~sent_at:(Engine.now sh.sengine) command args in
     stracef sh "send" "%s#%d -> %a: %a" g.gdef.def_name g.gid Port_name.pp to_ Message.pp msg;
+    (* Externalization barrier (write-ahead discipline): everything this
+       guardian logged is flushed before any message leaves it, so a later
+       crash can tear or drop only state the rest of the world has never
+       observed. *)
+    Store.flush g.gstore;
     route w ~from:g.home ~target:to_ msg
   end
 
@@ -743,6 +797,12 @@ let receive c ?timeout ports =
   let owned p = Port.name p |> fun n -> n.Port_name.guardian = g.gid in
   if not (List.for_all owned ports) then
     invalid_arg "Runtime.receive: can only receive on this guardian's own ports";
+  (* Quiescence barrier, the dual of the send-side flush: a guardian going
+     back to waiting for work has durably committed everything it did —
+     including bootstrap state written before it ever sent a message.  The
+     disk-fault plane may therefore tear or drop only writes made {e
+     mid-request}, which no other party (or oracle model) has observed. *)
+  Store.flush g.gstore;
   Port.receive g.home.shard.sengine ~ports ~timeout
 
 let port c index =

@@ -67,6 +67,18 @@ type config = {
   processors_per_node : int;
       (** §1.1: "each node consists of one or more processors" — the units
           {!compute} contends for (default 8) *)
+  disk : Dcp_stable.Disk.spec option;
+      (** attach a disk-fault injector to every guardian store (default
+          [None]: perfect disks).  Each store gets its own RNG stream split
+          from its shard's system stream; appends may stall, crashes may
+          tear/drop un-flushed records and rot flushed state.  The runtime
+          flushes a guardian's store before any of its messages leaves the
+          node, so acknowledged state survives every non-rot fault, and rot
+          is salvaged or quarantined at recovery ([stable.*] metrics). *)
+  checkpoint_every : int option;
+      (** auto-checkpoint a guardian store after this many mutations
+          (default [None]: only explicit {!Dcp_stable.Store.checkpoint}
+          calls compact), bounding recovery replay to O(interval). *)
 }
 
 val default_config : config
@@ -158,9 +170,13 @@ val guardian_ports : guardian -> Port_name.t list
 (** Names of the ports the guardian currently provides, in creation order. *)
 
 val guardians_at : world -> node_id -> guardian list
+
 val find_guardians : world -> def_name:string -> guardian list
 (** Instances of a definition in creation order, O(1) in the number of other
     guardians (indexed by definition name). *)
+
+val all_guardians : world -> guardian list
+(** Every guardian in the world, in creation order. *)
 
 val guardian_store : guardian -> Dcp_stable.Store.t
 (** The guardian's stable store, for tests and observability harnesses.

@@ -42,6 +42,17 @@ let domain_primitive_modules = [ "Domain"; "Atomic"; "Mutex"; "Condition" ]
 
 let shard_runtime_file = "lib/sim/exec.ml"
 
+(* The disk-fault injector couples a fault spec to its own RNG stream;
+   guardian code may carry a [Disk.spec] around freely, but only the stable
+   layer may turn one into a live injector handle — anyone else drawing
+   faults would perturb RNG streams and bypass the store's salvage and
+   quarantine accounting. *)
+let disk_injector_dir = "lib/stable/"
+
+let in_stable_layer file =
+  String.length file >= String.length disk_injector_dir
+  && String.equal (String.sub file 0 (String.length disk_injector_dir)) disk_injector_dir
+
 let wall_clock_idents =
   [
     ("Unix", "gettimeofday");
@@ -123,6 +134,12 @@ let check_lid ctx (lid : Longident.t Location.loc) =
              (lib/sim/exec.ml) may synchronize domains — shard state is single-writer \
              and crosses boundaries only at epoch barriers"
             (String.concat "." comps)));
+  (match pair with
+  | "Disk", "create" when not (in_stable_layer ctx.file) ->
+      report ctx ~loc ~rule:"disk-faults" ~token:(String.concat "." comps)
+        "only lib/stable may construct a disk-fault injector handle; pass the Disk.spec \
+         to Store.create and let the store build its own injector"
+  | _ -> ());
   if List.mem pair wall_clock_idents then
     report ctx ~loc ~rule:"wall-clock" ~token:(String.concat "." comps)
       (Printf.sprintf

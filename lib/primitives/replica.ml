@@ -127,22 +127,32 @@ let persist_peers ctx peers =
   Store.set (Runtime.store ctx) ~key:peers_key
     (Codec.encode_exn (Value.list (List.map Value.port (Array.to_list peers))))
 
+(* Duplicate-superblock discipline: the config is written under two keys so
+   that losing either record to unsalvageable bit rot (a quarantined log
+   record) cannot leave the replica running with default parameters — a
+   budget amnesiac would gossip oversized windows. *)
+let config_backup_key = "config.b"
+
 let persist_config ctx (c : config) =
-  Store.set (Runtime.store ctx) ~key:config_key
-    (Printf.sprintf "%d %d %d" c.sync_every c.fanout c.byte_budget)
+  let data = Printf.sprintf "%d %d %d" c.sync_every c.fanout c.byte_budget in
+  Store.set (Runtime.store ctx) ~key:config_key data;
+  Store.set (Runtime.store ctx) ~key:config_backup_key data
+
+let parse_config data =
+  match String.split_on_char ' ' data with
+  | [ se; fo; bb ] -> (
+      match (int_of_string_opt se, int_of_string_opt fo, int_of_string_opt bb) with
+      | Some sync_every, Some fanout, Some byte_budget
+        when sync_every > 0 && fanout > 0 && byte_budget > 0 ->
+          Some { sync_every; fanout; byte_budget }
+      | _ -> None)
+  | _ -> None
 
 let config_in_store store =
-  match Store.get store ~key:config_key with
-  | None -> default_config
-  | Some data -> (
-      match String.split_on_char ' ' data with
-      | [ se; fo; bb ] -> (
-          match (int_of_string_opt se, int_of_string_opt fo, int_of_string_opt bb) with
-          | Some sync_every, Some fanout, Some byte_budget
-            when sync_every > 0 && fanout > 0 && byte_budget > 0 ->
-              { sync_every; fanout; byte_budget }
-          | _ -> default_config)
-      | _ -> default_config)
+  let read key = Option.bind (Store.get store ~key) parse_config in
+  match read config_key with
+  | Some c -> c
+  | None -> ( match read config_backup_key with Some c -> c | None -> default_config)
 
 (* ---- applying stamped writes ---- *)
 

@@ -1,0 +1,99 @@
+module Crc32 = Dcp_net.Crc32
+
+(* Frame: body ^ 8 lowercase-hex chars of CRC32(body).
+   Body:  "C<upto>;<n>;" then n pairs, each "<klen>:<key><vlen>:<value>".
+   All lengths are decimal, every field length-prefixed, so keys and values
+   may contain any byte.  Parsing is total: every malformed shape answers
+   [None]. *)
+
+let make ~upto pairs =
+  let buf = Buffer.create 256 in
+  Buffer.add_char buf 'C';
+  Buffer.add_string buf (string_of_int upto);
+  Buffer.add_char buf ';';
+  Buffer.add_string buf (string_of_int (List.length pairs));
+  Buffer.add_char buf ';';
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf (string_of_int (String.length k));
+      Buffer.add_char buf ':';
+      Buffer.add_string buf k;
+      Buffer.add_string buf (string_of_int (String.length v));
+      Buffer.add_char buf ':';
+      Buffer.add_string buf v)
+    pairs;
+  let body = Buffer.contents buf in
+  Printf.sprintf "%s%08lx" body (Crc32.digest_string body)
+
+let framed blob =
+  let n = String.length blob in
+  if n < 9 then None
+  else
+    let body = String.sub blob 0 (n - 8) in
+    match Int32.of_string_opt ("0x" ^ String.sub blob (n - 8) 8) with
+    | None -> None
+    | Some crc -> if Int32.equal crc (Crc32.digest_string body) then Some body else None
+
+(* Read a decimal integer starting at [!pos], consuming the trailing
+   [stop] char.  Digits only — no sign, no 0x — so lengths can't go
+   negative or overflow silently on realistic inputs. *)
+let read_int body pos ~stop =
+  let n = String.length body in
+  let start = !pos in
+  while !pos < n && body.[!pos] >= '0' && body.[!pos] <= '9' do
+    incr pos
+  done;
+  if !pos = start || !pos >= n || body.[!pos] <> stop then None
+  else
+    match int_of_string_opt (String.sub body start (!pos - start)) with
+    | Some v ->
+        incr pos;
+        Some v
+    | None -> None
+
+let read_field body pos =
+  match read_int body pos ~stop:':' with
+  | None -> None
+  | Some len ->
+      if len < 0 || !pos + len > String.length body then None
+      else begin
+        let field = String.sub body !pos len in
+        pos := !pos + len;
+        Some field
+      end
+
+let restore blob =
+  match framed blob with
+  | None -> None
+  | Some body ->
+      if String.length body = 0 || body.[0] <> 'C' then None
+      else begin
+        let pos = ref 1 in
+        match read_int body pos ~stop:';' with
+        | None -> None
+        | Some upto -> (
+            match read_int body pos ~stop:';' with
+            | None -> None
+            | Some count ->
+                let rec pairs k acc =
+                  if k = 0 then
+                    if !pos = String.length body then Some (upto, List.rev acc) else None
+                  else
+                    match read_field body pos with
+                    | None -> None
+                    | Some key -> (
+                        match read_field body pos with
+                        | None -> None
+                        | Some value -> pairs (k - 1) ((key, value) :: acc))
+                in
+                if count < 0 then None else pairs count [])
+      end
+
+let upto blob =
+  match framed blob with
+  | None -> None
+  | Some body ->
+      if String.length body = 0 || body.[0] <> 'C' then None
+      else
+        let pos = ref 1 in
+        read_int body pos ~stop:';'

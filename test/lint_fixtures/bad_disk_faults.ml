@@ -1,0 +1,9 @@
+(* Lint fixture: constructing a disk-fault injector handle outside
+   lib/stable bypasses the store's salvage/quarantine accounting and
+   perturbs RNG streams. *)
+let injector = Disk.create Disk.flaky (Dcp_rng.Rng.create ~seed:1)
+
+let qualified = Dcp_stable.Disk.create Dcp_stable.Disk.none (Dcp_rng.Rng.create ~seed:2)
+
+(* Carrying a spec around is fine — only [create] is restricted. *)
+let spec = Dcp_stable.Disk.flaky

@@ -72,6 +72,72 @@ let test_register_lossy () =
 let test_snapshot_wan_lossy_crash () =
   check_point Scenarios.snapshot ~seed:2 ~profile:"wan+lossy+crash" ~stat:"ops_ok" ~at_least:8
 
+(* The disk axis of the matrix: flaky disks (bit rot, torn writes, dropped
+   un-flushed tails, stalls) under a crash schedule whose outage exceeds
+   its period, so up to two nodes are down at once and recovery from disk
+   damage runs while a peer is still dark.  Each pinned point must pass its
+   oracles AND show that the disk plane actually bit (salvage, quarantine,
+   checkpoint fallback or dropped tail) — a damage-free run would pass
+   vacuously. *)
+let damage outcome =
+  Scenario.stat outcome "stable_salvaged"
+  + Scenario.stat outcome "stable_quarantined"
+  + Scenario.stat outcome "stable_ckpt_fallbacks"
+  + Scenario.stat outcome "stable_dropped_unflushed"
+
+let check_disk_point scenario ~seed ~profile:p ~pname ~stat ~at_least =
+  let outcome = Scenario.execute scenario ~seed ~profile:p () in
+  (match Scenario.fail_reason outcome with
+  | None -> ()
+  | Some reason ->
+      Alcotest.failf "%s seed=%d profile=%s: %s" scenario.Scenario.name seed pname reason);
+  let progress = Scenario.stat outcome stat in
+  Alcotest.(check bool)
+    (Printf.sprintf "made progress (%s=%d, need >%d)" stat progress at_least)
+    true (progress > at_least);
+  Alcotest.(check bool) "disk plane did damage" true (damage outcome > 0)
+
+let check_disk_named scenario ~seed ~profile:pname ~stat ~at_least =
+  check_disk_point scenario ~seed ~profile:(profile pname) ~pname ~stat ~at_least
+
+let test_bank_disk () =
+  check_disk_named Scenarios.bank ~seed:1001 ~profile:"lan+crash+disk" ~stat:"transfers_ok"
+    ~at_least:10
+
+let test_itinerary_disk () =
+  check_disk_named Scenarios.itinerary ~seed:1005 ~profile:"wan+lossy+crash+disk" ~stat:"booked"
+    ~at_least:0
+
+let test_replica_disk () =
+  check_disk_named Scenarios.replica ~seed:1001 ~profile:"wan+lossy+crash+disk" ~stat:"keys"
+    ~at_least:100
+
+let test_register_disk () =
+  check_disk_named Scenarios.register ~seed:1001 ~profile:"wan+lossy+crash+disk" ~stat:"ops_ok"
+    ~at_least:20
+
+let test_snapshot_disk () =
+  check_disk_named Scenarios.snapshot ~seed:1003 ~profile:"wan+lossy+crash+disk" ~stat:"ops_ok"
+    ~at_least:8
+
+let test_airline_disk () =
+  check_disk_named Scenarios.airline ~seed:1001 ~profile:"lan+crash+disk" ~stat:"requests_ok"
+    ~at_least:50
+
+(* Quarantine recovery: the hostile spec destroys both copies of a rotted
+   record (sector_p = 1, no mirror to salvage from), so recovery must drop
+   it and keep going — anti-entropy then re-fetches the lost key from the
+   peers, and convergence plus the durability oracle still hold.  This
+   seed quarantines several records (stable_quarantined > 0 is asserted
+   via the damage floor; salvage is impossible under hostile). *)
+let test_replica_hostile_quarantine () =
+  let base = profile "wan+lossy+crash+disk" in
+  let hostile =
+    { base with Check.Profile.disk = Some Dcp_stable.Disk.hostile }
+  in
+  check_disk_point Scenarios.replica ~seed:1002 ~profile:hostile
+    ~pname:"wan+lossy+crash+disk(hostile)" ~stat:"keys" ~at_least:100
+
 let tests =
   [
     Alcotest.test_case "airline invariants under churn" `Slow test_airline_chaos;
@@ -87,4 +153,17 @@ let tests =
     Alcotest.test_case "register linearizable under lossy+crash" `Slow test_register_lossy;
     Alcotest.test_case "snapshot views under wan+lossy+crash" `Slow
       test_snapshot_wan_lossy_crash;
+    Alcotest.test_case "bank under flaky disks + overlapping crashes" `Slow test_bank_disk;
+    Alcotest.test_case "itinerary under flaky disks + overlapping crashes" `Slow
+      test_itinerary_disk;
+    Alcotest.test_case "replica under flaky disks + overlapping crashes" `Slow
+      test_replica_disk;
+    Alcotest.test_case "register under flaky disks + overlapping crashes" `Slow
+      test_register_disk;
+    Alcotest.test_case "snapshot under flaky disks + overlapping crashes" `Slow
+      test_snapshot_disk;
+    Alcotest.test_case "airline under flaky disks + overlapping crashes" `Slow
+      test_airline_disk;
+    Alcotest.test_case "replica quarantine recovery under hostile disks (regression seed)"
+      `Slow test_replica_hostile_quarantine;
   ]

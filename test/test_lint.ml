@@ -76,6 +76,17 @@ let test_domain_primitives () =
     "lib/sim/exec.ml is exempt" []
     (rules_of (List.filter (fun f -> String.equal f.Finding.rule "domain-primitives") exempt))
 
+let test_disk_faults () =
+  let findings = scan_fixture ~as_path:"lib/check/bad_disk_faults.ml" "bad_disk_faults.ml" in
+  let hits = List.filter (fun f -> String.equal f.Finding.rule "disk-faults") findings in
+  Alcotest.(check int) "bare and qualified Disk.create both fire" 2 (List.length hits);
+  (* The stable layer itself is the one sanctioned home for injector
+     construction. *)
+  let exempt = scan_fixture ~as_path:"lib/stable/store.ml" "bad_disk_faults.ml" in
+  Alcotest.(check (list string))
+    "lib/stable is exempt" []
+    (rules_of (List.filter (fun f -> String.equal f.Finding.rule "disk-faults") exempt))
+
 let test_mutable_payload () =
   let findings =
     scan_fixture ~as_path:"lib/office/bad_mutable_payload.ml" "bad_mutable_payload.ml"
@@ -226,6 +237,7 @@ let tests =
     Alcotest.test_case "poly compare fixture" `Quick test_poly_compare;
     Alcotest.test_case "obj magic fixture" `Quick test_obj_magic;
     Alcotest.test_case "domain primitives fixture" `Quick test_domain_primitives;
+    Alcotest.test_case "disk faults fixture" `Quick test_disk_faults;
     Alcotest.test_case "mutable payload fixture" `Quick test_mutable_payload;
     Alcotest.test_case "parse error fixture" `Quick test_parse_error;
     Alcotest.test_case "missing mli" `Quick test_missing_mli;

@@ -57,7 +57,7 @@ let test_wal_tear_empty () =
 
 (* The verified-prefix cache must never outlive the facts it caches: a
    read primes it, tear_tail damages the newest record behind it, and
-   every subsequent read has to see the shorter intact prefix. *)
+   every subsequent read has to quarantine the damaged record. *)
 let test_wal_cache_invalidated_by_tear () =
   let wal = Wal.create () in
   ignore (Wal.append wal "a");
@@ -68,10 +68,13 @@ let test_wal_cache_invalidated_by_tear () =
   Alcotest.(check bool) "tear happened" true (Wal.tear_tail wal rng ~p:1.0);
   Alcotest.(check int) "cached prefix pulled back" 2 (Wal.length wal);
   ignore (Wal.append wal "d");
-  Alcotest.(check (list string)) "append hides behind the tear" [ "a"; "b" ] (Wal.records wal);
-  Alcotest.(check int) "repair drops tear and shadow" 2 (Wal.repair wal);
+  Alcotest.(check (list string))
+    "quarantine skips the tear, keeps the suffix" [ "a"; "b"; "d" ] (Wal.records wal);
+  let r = Wal.scrub wal in
+  Alcotest.(check int) "scrub quarantines the torn record" 1 r.Wal.quarantined;
+  Alcotest.(check int) "no mirror, nothing salvageable" 0 r.Wal.salvaged;
   ignore (Wal.append wal "e");
-  Alcotest.(check (list string)) "log usable again" [ "a"; "b"; "e" ] (Wal.records wal)
+  Alcotest.(check (list string)) "log usable again" [ "a"; "b"; "d"; "e" ] (Wal.records wal)
 
 let test_wal_truncate_after_verify () =
   let wal = Wal.create () in
@@ -95,8 +98,8 @@ let test_wal_storage_bytes_accounting () =
   let rng = Rng.create ~seed:4 in
   ignore (Wal.tear_tail wal rng ~p:1.0);
   Alcotest.(check int) "tear does not change accounting" (4 + 2 + 24) (Wal.storage_bytes wal);
-  ignore (Wal.repair wal);
-  Alcotest.(check int) "repair reclaims the tail" (4 + 12) (Wal.storage_bytes wal);
+  ignore (Wal.scrub wal);
+  Alcotest.(check int) "scrub reclaims the quarantined tail" (4 + 12) (Wal.storage_bytes wal);
   Wal.truncate_prefix wal ~upto:(l0 + 1);
   Alcotest.(check int) "truncate reclaims the prefix" 0 (Wal.storage_bytes wal)
 
@@ -158,8 +161,14 @@ let test_store_checkpoint_shrinks_log () =
     Store.set s ~key:(string_of_int (i mod 10)) (string_of_int i)
   done;
   Alcotest.(check int) "log grew" 100 (Store.log_length s);
+  (* Checkpoints are double-buffered: the first generation truncates
+     nothing (the log alone must still rebuild the store), the second
+     compacts everything the older generation covers. *)
   Store.checkpoint s;
-  Alcotest.(check int) "log empty after checkpoint" 0 (Store.log_length s);
+  Alcotest.(check int) "first checkpoint keeps the log" 100 (Store.log_length s);
+  Store.set s ~key:"9" "99";
+  Store.checkpoint s;
+  Alcotest.(check int) "second checkpoint compacts the prefix" 1 (Store.log_length s);
   Store.crash s ();
   ignore (Store.recover s);
   Alcotest.(check int) "table rebuilt from snapshot" 10 (Store.size s);

@@ -107,22 +107,23 @@ let test_torn_tail_after_checkpoint () =
     [ ("safe", "1") ]
     (dump store)
 
-(* ---- WAL-level: a bad CRC is a barrier, repair removes it ---- *)
+(* ---- WAL-level: a bad CRC is quarantined, scrub makes it physical ---- *)
 
-let test_wal_bad_crc_hides_suffix () =
+let test_wal_bad_crc_quarantined () =
   let wal = Wal.create () in
   ignore (Wal.append wal "a");
   ignore (Wal.append wal "b");
   let rng = Rng.create ~seed:3 in
   ignore (Wal.tear_tail wal rng ~p:1.0);
-  (* Appending past an unrepaired tear: the damaged record hides everything
-     after it, exactly like garbage in the middle of an on-disk log. *)
+  (* Appending past an unscrubbed tear: the damaged record is skipped but
+     must never hide the intact suffix behind it. *)
   ignore (Wal.append wal "c");
-  Alcotest.(check (list string)) "replay stops at first bad CRC" [ "a" ] (Wal.records wal);
-  Alcotest.(check int) "repair drops torn record and its shadow" 2 (Wal.repair wal);
-  Alcotest.(check (list string)) "post-repair replay" [ "a" ] (Wal.records wal);
+  Alcotest.(check (list string)) "replay skips the bad CRC" [ "a"; "c" ] (Wal.records wal);
+  let r = Wal.scrub wal in
+  Alcotest.(check int) "scrub quarantines only the torn record" 1 r.Wal.quarantined;
+  Alcotest.(check (list string)) "post-scrub replay" [ "a"; "c" ] (Wal.records wal);
   ignore (Wal.append wal "d");
-  Alcotest.(check (list string)) "log usable again" [ "a"; "d" ] (Wal.records wal)
+  Alcotest.(check (list string)) "log usable again" [ "a"; "c"; "d" ] (Wal.records wal)
 
 (* A long log exercises the verified-prefix cache where it matters: reads
    after the first must not change what replay sees, and a torn tail must
@@ -143,8 +144,8 @@ let test_long_log_torn_tail () =
   in
   Alcotest.(check int) "replay = length" 999 (count ());
   Alcotest.(check int) "replay idempotent" 999 (count ());
-  Alcotest.(check int) "repair drops one" 1 (Wal.repair wal);
-  Alcotest.(check int) "post-repair length" 999 (Wal.length wal)
+  Alcotest.(check int) "scrub drops one" 1 (Wal.scrub wal).Wal.quarantined;
+  Alcotest.(check int) "post-scrub length" 999 (Wal.length wal)
 
 let tests =
   [
@@ -156,8 +157,8 @@ let tests =
     Alcotest.test_case "writes after a torn-tail recovery survive" `Quick
       test_torn_tail_then_new_writes_survive;
     Alcotest.test_case "torn tail after checkpoint" `Quick test_torn_tail_after_checkpoint;
-    Alcotest.test_case "bad CRC is a replay barrier until repaired" `Quick
-      test_wal_bad_crc_hides_suffix;
+    Alcotest.test_case "bad CRC is quarantined, never a barrier" `Quick
+      test_wal_bad_crc_quarantined;
     Alcotest.test_case "long log: torn tail and idempotent replay" `Quick
       test_long_log_torn_tail;
   ]
