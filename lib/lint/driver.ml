@@ -34,7 +34,7 @@ let run ?(dirs = default_dirs) ~root ~baseline_path () =
 let pp_outcome ppf t =
   List.iter (fun f -> Format.fprintf ppf "%a@." Finding.pp f) t.active;
   List.iter
-    (fun key -> Format.fprintf ppf "warning: stale baseline entry (fixed? prune it): %s@." key)
+    (fun key -> Format.fprintf ppf "error: stale baseline entry (fixed? prune it): %s@." key)
     t.stale_baseline;
   Format.fprintf ppf "dcp_lint: %d files, %d findings (%d active, %d baselined)@."
     t.files_scanned (List.length t.findings) (List.length t.active)

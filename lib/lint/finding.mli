@@ -34,9 +34,13 @@ val order : t -> t -> int
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 
-type family = Isolation | Transmittability | Determinism | Hygiene
+type family = Isolation | Transmittability | Determinism | Hygiene | Protocol
 
 val family_name : family -> string
 
 val rules : (string * family) list
-(** Every rule this pass can emit, with its family. *)
+(** Every rule either pass (per-file [Scan] or whole-program proto tier) can
+    emit, with its family. *)
+
+val explain : string -> string option
+(** The rule's documentation paragraph, printed by [dcp_lint --explain]. *)

@@ -1,0 +1,27 @@
+(** Whole-program protocol analysis, pass 4: the message-flow graph.
+
+    Joins resolved send sites against handler sites to produce dead-letter
+    and unreachable-handler findings, the cross-guardian flow edges, and
+    the graphviz export. *)
+
+open Proto_extract
+
+type edge = {
+  e_src : string;  (** sender unit id, e.g. ["primitives/replica"] *)
+  e_dst : string;  (** handler unit id *)
+  e_msgs : SSet.t;  (** message names carried on the edge *)
+}
+
+type unit_sends = { us_unit : unit_info; us_sends : Proto_summary.send list }
+
+val handled_names : unit_info list -> SSet.t
+(** Every handled/declared name, plus the runtime's ["failure"]. *)
+
+val sent_names : unit_sends list -> SSet.t
+(** Every statically-known sent name, plus ["failure"]. *)
+
+val dead_letters : handled:SSet.t -> unit_sends list -> Finding.t list
+val unreachable : sent:SSet.t -> unit_info list -> Finding.t list
+val edges : unit_info list -> unit_sends list -> edge list
+val dot : edge list -> string
+(** Graphviz digraph of the flow edges, deterministic. *)

@@ -1,0 +1,18 @@
+(** Whole-program protocol analysis, pass 3: reply obligations.
+
+    Branch-sensitive must-discharge check: every dispatch arm for a message
+    declared with replies must transmit a reply or explicitly discard the
+    reply port ([None] match) on all syntactic paths.  Serve-wrapped
+    callbacks are exempt — [Rpc.serve] replies with whatever the callback
+    returns. *)
+
+val obligated_names : Proto_extract.unit_info list -> Proto_extract.SSet.t
+(** Message names declared with a non-empty reply set anywhere in the
+    program (the runtime-generated ["failure"] excluded). *)
+
+val check :
+  Proto_summary.env ->
+  obligated:Proto_extract.SSet.t ->
+  Proto_extract.unit_info ->
+  Finding.t list
+(** [proto-reply-obligation] findings for one unit. *)

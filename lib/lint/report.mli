@@ -23,6 +23,9 @@ val parse : string -> json
 
 val member : string -> json -> json option
 
+val of_finding : Finding.t -> json
+(** Shared with the proto-tier report ([Proto_report]). *)
+
 val build :
   root:string ->
   files_scanned:int ->

@@ -15,6 +15,8 @@ type ctx = {
   findings : Finding.t list ref;
   context : string list ref;  (* enclosing binding names, innermost first *)
   sort_depth : int ref;  (* > 0 inside an argument of a sort application *)
+  aliases : (string, string list) Hashtbl.t;
+      (* [module U = Unix] renames, resolved before every longident check *)
 }
 
 let last2 comps =
@@ -86,8 +88,23 @@ let with_context ctx name f =
 
 (* ---- longident checks ---- *)
 
+(* Rewrite the head of a path through the file's module aliases, so
+   [module U = Unix ... U.time] is checked as [Unix.time].  Scoping is
+   coarse (one table per file, no shadowing) — fine for the lint tier,
+   where a false resolution just means a baselined finding. *)
+let resolve_alias ctx comps =
+  let rec go comps depth =
+    match comps with
+    | head :: rest when depth < 5 -> (
+        match Hashtbl.find_opt ctx.aliases head with
+        | Some target -> go (target @ rest) (depth + 1)
+        | None -> comps)
+    | _ -> comps
+  in
+  go comps 0
+
 let check_lid ctx (lid : Longident.t Location.loc) =
-  let comps = Longident.flatten lid.txt in
+  let comps = resolve_alias ctx (Longident.flatten lid.txt) in
   let loc = lid.loc in
   let pair = last2 comps in
   (match comps with
@@ -288,10 +305,18 @@ let iterator ctx =
             self.Ast_iterator.expr self f;
             visit_args self args)
   in
+  let register_alias name mexpr =
+    match mexpr.pmod_desc with
+    | Pmod_ident lid -> Hashtbl.replace ctx.aliases name (Longident.flatten lid.txt)
+    | _ -> ()
+  in
   let expr self e =
     match e.pexp_desc with
     | Pexp_ident lid -> check_lid ctx lid
     | Pexp_apply (f, args) -> handle_apply self f args e.pexp_loc
+    | Pexp_letmodule ({ txt = Some name; _ }, mexpr, _) ->
+        register_alias name mexpr;
+        super.expr self e
     | Pexp_construct (lid, _) | Pexp_field (_, lid) | Pexp_setfield (_, lid, _) | Pexp_new lid ->
         check_lid ctx lid;
         super.expr self e
@@ -326,7 +351,8 @@ let iterator ctx =
             | Some name -> with_context ctx name (fun () -> self.Ast_iterator.value_binding self vb)
             | None -> self.Ast_iterator.value_binding self vb)
           bindings
-    | Pstr_module { pmb_name = { txt = Some name; _ }; _ } ->
+    | Pstr_module ({ pmb_name = { txt = Some name; _ }; _ } as mb) ->
+        register_alias name mb.pmb_expr;
         with_context ctx name (fun () -> super.structure_item self item)
     | _ -> super.structure_item self item
   in
@@ -339,7 +365,14 @@ let file ~path ~source =
     | _ -> None
   in
   let ctx =
-    { file = path; own_dir; findings = ref []; context = ref []; sort_depth = ref 0 }
+    {
+      file = path;
+      own_dir;
+      findings = ref [];
+      context = ref [];
+      sort_depth = ref 0;
+      aliases = Hashtbl.create 8;
+    }
   in
   (try
      let lexbuf = Lexing.from_string source in

@@ -415,7 +415,12 @@ let serve ctx state =
         | "join", [ Value.Int id; Value.Listv peer_values ] -> (
             match (handle_join ctx state peer_values, msg.Message.reply_to) with
             | true, Some reply -> Runtime.send ctx ~to_:reply "joined" [ Value.int id ]
-            | true, None | false, _ -> ())
+            | false, Some reply ->
+                (* A malformed peer list used to be dropped silently, leaving
+                   the joining side to burn its full timeout x attempts budget
+                   on a request that can never succeed; fail fast instead. *)
+                Runtime.send ctx ~to_:reply "failure" [ Value.str "join: malformed peer list" ]
+            | _, None -> ())
         | "gossip", [ Value.Str key; value; stamp ] -> (
             match Reconcile.stamp_of_value stamp with
             | None -> malformed state

@@ -1,0 +1,13 @@
+(* Wall-clock access hidden behind module renames: the reference resolver
+   must expand [module U = Unix] (including alias-of-alias and local
+   [let module]) before matching the rule table. *)
+
+module U = Unix
+module V = U
+
+let now () = U.time ()
+let later () = V.gettimeofday ()
+
+let local () =
+  let module W = Unix in
+  W.gmtime 0.0

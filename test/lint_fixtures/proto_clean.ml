@@ -1,0 +1,18 @@
+(* Whole-program fixture with zero findings: every sent name is handled,
+   every handled name is sent, and the obligated "get" handler replies on
+   the hit path and discards explicitly (None match) otherwise. *)
+
+let port_type = Rpc.request_signature "get" [] ~replies:[ Vtype.reply "got" [] ]
+
+let client ctx peer =
+  Runtime.send ctx ~to_:peer "get" [];
+  Runtime.send ctx ~to_:peer "nudge" []
+
+let serve ctx state msg =
+  match (msg.Message.command, msg.Message.args) with
+  | "get", [] -> (
+      match msg.Message.reply_to with
+      | Some reply -> Runtime.send ctx ~to_:reply "got" [ Value.int state.count ]
+      | None -> ())
+  | "nudge", _ -> touch state
+  | _ -> ()

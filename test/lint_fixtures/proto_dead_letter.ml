@@ -1,0 +1,11 @@
+(* Whole-program fixture: "peer_vanished" has no handler anywhere, while
+   "ping" is both sent and dispatched. *)
+
+let client ctx peer =
+  Runtime.send ctx ~to_:peer "ping" [];
+  Runtime.send ctx ~to_:peer "peer_vanished" []
+
+let serve ctx msg =
+  match msg.Message.command with
+  | "ping" -> step ctx
+  | _ -> ()

@@ -1,0 +1,14 @@
+(* Whole-program fixture: a mutable buffer laundered through two helper
+   calls into a send payload.  The per-file mutable-payload rule cannot
+   see this — no mutable constructor appears in the argument expression —
+   but the summary-based escape analysis can. *)
+
+let make_buf () = Bytes.create 8
+let wrap b = b
+
+let publish ctx peer = Runtime.send ctx ~to_:peer "blob" [ wrap (make_buf ()) ]
+
+let serve ctx msg =
+  match msg.Message.command with
+  | "blob" -> store ctx msg
+  | _ -> ()

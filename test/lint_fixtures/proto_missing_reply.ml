@@ -1,0 +1,18 @@
+(* Whole-program fixture: "fetch" is declared with a reply, and the
+   handler answers on the hit path but silently drops the reply port on
+   the miss path — the caller would burn its full RPC timeout. *)
+
+let port_type =
+  Rpc.request_signature "fetch" [ Vtype.Tstr ]
+    ~replies:[ Vtype.reply "fetched" [ Vtype.Tint ] ]
+
+let client ctx peer = Runtime.send ctx ~to_:peer "fetch" [ Value.str "k" ]
+
+let serve ctx state msg =
+  match (msg.Message.command, msg.Message.args) with
+  | "fetch", [ Value.Str key ] -> (
+      match (lookup state key, msg.Message.reply_to) with
+      | Some v, Some reply -> Runtime.send ctx ~to_:reply "fetched" [ v ]
+      | None, Some _ -> () (* BUG: miss path never answers *)
+      | _, None -> ())
+  | _ -> ()

@@ -45,6 +45,14 @@ let test_wall_clock () =
   let wall = List.filter (fun f -> String.equal f.Finding.rule "wall-clock") findings in
   Alcotest.(check int) "gettimeofday and self_init both fire" 2 (List.length wall)
 
+let test_wall_clock_alias () =
+  let findings =
+    scan_fixture ~as_path:"lib/check/bad_wall_clock_alias.ml" "bad_wall_clock_alias.ml"
+  in
+  let wall = List.filter (fun f -> String.equal f.Finding.rule "wall-clock") findings in
+  Alcotest.(check int) "aliased, alias-of-alias and let-module calls all fire" 3
+    (List.length wall)
+
 let test_hashtbl_order () =
   let findings = scan_fixture ~as_path:"lib/core/bad_hashtbl_order.ml" "bad_hashtbl_order.ml" in
   let hits = List.filter (fun f -> String.equal f.Finding.rule "hashtbl-order") findings in
@@ -233,6 +241,7 @@ let tests =
     Alcotest.test_case "guardian isolation fixture" `Quick test_guardian_isolation;
     Alcotest.test_case "layer dag fixture" `Quick test_layer_dag;
     Alcotest.test_case "wall clock fixture" `Quick test_wall_clock;
+    Alcotest.test_case "wall clock through module alias" `Quick test_wall_clock_alias;
     Alcotest.test_case "hashtbl order fixture" `Quick test_hashtbl_order;
     Alcotest.test_case "poly compare fixture" `Quick test_poly_compare;
     Alcotest.test_case "obj magic fixture" `Quick test_obj_magic;
